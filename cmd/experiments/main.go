@@ -1,0 +1,141 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). By default it runs everything at full scale;
+// -only selects a subset and -quick shrinks the workloads for a fast pass.
+//
+//	experiments                 # everything (minutes)
+//	experiments -only fig6a,fig7
+//	experiments -quick -only fig8a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scorpio"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,service,fig6a,fig6a64,fig6b,fig6c,fig7,fig8a,fig8b,fig8c,fig8d,fig9,fig10")
+		quick = flag.Bool("quick", false, "reduced workloads (CI-sized)")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	scale := scorpio.FullScale
+	if *quick {
+		scale = scorpio.QuickScale
+	}
+	scale.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	section := func(name string, run func() (string, error)) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		out, err := run()
+		if err != nil {
+			fail(name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s finished in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	section("table1", func() (string, error) { return scorpio.Table1(), nil })
+	section("service", func() (string, error) {
+		fig, err := scorpio.ServiceLatencySummary(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("table2", func() (string, error) { return scorpio.Table2(), nil })
+	section("fig6a", func() (string, error) {
+		fig, err := scorpio.Figure6a(scale, 36)
+		if err != nil {
+			return "", err
+		}
+		return fig.String() + "\n" + fig.Chart() + "\n" + scorpio.Headline(fig), nil
+	})
+	section("fig6a64", func() (string, error) {
+		fig, err := scorpio.Figure6a(scale, 64)
+		if err != nil {
+			return "", err
+		}
+		return fig.String() + "\n" + scorpio.Headline(fig), nil
+	})
+	section("fig6b", func() (string, error) {
+		fig, err := scorpio.Figure6b(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig6c", func() (string, error) {
+		fig, err := scorpio.Figure6c(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig7", func() (string, error) {
+		fig, err := scorpio.Figure7(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig8a", func() (string, error) {
+		fig, err := scorpio.Figure8a(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig8b", func() (string, error) {
+		fig, err := scorpio.Figure8b(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig8c", func() (string, error) {
+		fig, err := scorpio.Figure8c(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig8d", func() (string, error) {
+		fig, err := scorpio.Figure8d(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+	section("fig9", func() (string, error) {
+		p, a := scorpio.Figure9()
+		return p.String() + "\n" + a.String(), nil
+	})
+	section("fig10", func() (string, error) {
+		fig, err := scorpio.Figure10(scale)
+		if err != nil {
+			return "", err
+		}
+		return fig.String(), nil
+	})
+}

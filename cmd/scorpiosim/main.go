@@ -1,0 +1,101 @@
+// Command scorpiosim runs one benchmark on one protocol configuration and
+// prints the collected statistics.
+//
+// Examples:
+//
+//	scorpiosim -bench barnes                      # SCORPIO, 36 cores
+//	scorpiosim -bench lu -protocol LPD-D          # directory baseline
+//	scorpiosim -bench vips -protocol INSO -expiry 80 -nodes 16
+//	scorpiosim -bench fft -channel 8 -goreq-vcs 2 # design exploration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scorpio"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "barnes", "benchmark name (see -list)")
+		protocol = flag.String("protocol", "SCORPIO", "SCORPIO | LPD-D | HT-D | TokenB | INSO")
+		nodes    = flag.Int("nodes", 36, "core count (16, 36, 64, 100)")
+		work     = flag.Uint64("work", 400, "measured accesses per core")
+		warmup   = flag.Uint64("warmup", 300, "cache-warming accesses per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		expiry   = flag.Int("expiry", 20, "INSO expiration window (cycles)")
+		channel  = flag.Int("channel", 0, "channel width in bytes (0 = chip's 16)")
+		goreqVCs = flag.Int("goreq-vcs", 0, "GO-REQ virtual channels (0 = chip's 4)")
+		uoVCs    = flag.Int("uoresp-vcs", 0, "UO-RESP virtual channels (0 = chip's 2)")
+		notif    = flag.Int("notif-bits", 0, "notification bits per core (0 = chip's 1)")
+		outst    = flag.Int("outstanding", 2, "max outstanding misses per core")
+		nonPL    = flag.Bool("non-pipelined", false, "use the non-pipelined uncore (Figure 10's Non-PL)")
+		noBypass = flag.Bool("no-bypass", false, "disable lookahead bypassing")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(scorpio.Benchmarks(), "\n"))
+		return
+	}
+	w, h := dims(*nodes)
+	cfg := scorpio.Config{
+		Protocol:       scorpio.Protocol(*protocol),
+		Benchmark:      *bench,
+		Width:          w,
+		Height:         h,
+		WorkPerCore:    *work,
+		WarmupPerCore:  *warmup,
+		Seed:           *seed,
+		ExpiryWindow:   *expiry,
+		ChannelBytes:   *channel,
+		GOReqVCs:       *goreqVCs,
+		UORespVCs:      *uoVCs,
+		NotifBits:      *notif,
+		MaxOutstanding: *outst,
+	}
+	if *nonPL {
+		pl := false
+		cfg.PipelinedL2 = &pl
+	}
+	if *noBypass {
+		b := false
+		cfg.Bypass = &b
+	}
+	res, err := scorpio.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scorpiosim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol           %s\n", res.Protocol)
+	fmt.Printf("benchmark          %s (%d cores)\n", res.Benchmark, *nodes)
+	fmt.Printf("runtime            %d cycles (%d to last completion)\n", res.Cycles, res.LastDone)
+	fmt.Printf("accesses           %d completed, %d measured\n", res.Completed, res.Service.Count)
+	fmt.Printf("L2 service latency %.1f cycles (hit %.1f, miss %.1f)\n", res.Service.Value(), res.HitLat.Value(), res.MissLat.Value())
+	fmt.Printf("served by caches   %.1f%% of misses\n", 100*res.ServedByCacheFrac())
+	if res.CacheServed.Count() > 0 {
+		fmt.Printf("cache-served miss  %s\n", res.CacheServed.String())
+	}
+	if res.MemServed.Count() > 0 {
+		fmt.Printf("memory-served miss %s\n", res.MemServed.String())
+	}
+	if res.OrderingLat.Count > 0 {
+		fmt.Printf("ordering latency   %.1f cycles at the NIC\n", res.OrderingLat.Value())
+	}
+	fmt.Printf("network            %d flits routed, %d bypassed\n", res.FlitsRouted, res.Bypasses)
+	if res.DirTransactions > 0 {
+		fmt.Printf("directory          %d transactions, %d cache misses\n", res.DirTransactions, res.DirCacheMisses)
+	}
+}
+
+func dims(nodes int) (int, int) {
+	k := 1
+	for k*k < nodes {
+		k++
+	}
+	return k, k
+}

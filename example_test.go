@@ -1,0 +1,42 @@
+package scorpio_test
+
+import (
+	"fmt"
+
+	"scorpio"
+)
+
+// Running one benchmark on the default 36-core chip configuration.
+func Example() {
+	res, err := scorpio.Run(scorpio.Config{
+		Benchmark:     "swaptions",
+		Width:         4, // shrink the mesh for a quick example
+		Height:        4,
+		WorkPerCore:   50,
+		WarmupPerCore: 50,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Protocol, "completed", res.Service.Count, "measured accesses")
+	// Output: SCORPIO completed 800 measured accesses
+}
+
+// Comparing SCORPIO against a directory baseline on the same workload.
+func Example_comparison() {
+	base := scorpio.Config{
+		Benchmark: "swaptions", Width: 4, Height: 4,
+		WorkPerCore: 50, WarmupPerCore: 50,
+	}
+	snoopy, err := scorpio.Run(base)
+	if err != nil {
+		panic(err)
+	}
+	base.Protocol = scorpio.HTD
+	dir, err := scorpio.Run(base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("SCORPIO beats HT-D:", snoopy.Runtime() < dir.Runtime())
+	// Output: SCORPIO beats HT-D: true
+}

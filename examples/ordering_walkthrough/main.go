@@ -1,0 +1,92 @@
+// Ordering walkthrough: a runnable version of the paper's Figure 1 example.
+//
+// Two cores on a 4x4 ordered mesh inject coherence requests at nearly the
+// same time. The main network delivers the broadcasts in whatever order the
+// mesh happens to produce, yet every node hands them to its cache controller
+// in exactly the same global order, decided by the notification network's
+// merged bit-vectors and the rotating priority arbiter.
+//
+//	go run ./examples/ordering_walkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scorpio/internal/core"
+	"scorpio/internal/noc"
+	"scorpio/internal/sim"
+)
+
+// watcher records the order in which its node observes ordered requests,
+// plus the cycle each copy arrived at the NIC vs when it was released.
+type watcher struct {
+	node     int
+	arrived  map[uint64]uint64
+	released []string
+}
+
+func (w *watcher) AcceptOrderedRequest(p *noc.Packet, arrive, cycle uint64) bool {
+	w.arrived[p.ID] = arrive
+	w.released = append(w.released, fmt.Sprintf("M%d@%d", p.ID, cycle))
+	return true
+}
+
+func (w *watcher) AcceptResponse(p *noc.Packet, cycle uint64) bool { return true }
+
+func main() {
+	k := sim.NewKernel()
+	cfg := core.DefaultConfig().WithMeshSize(4, 4)
+	net, err := core.NewOrderedNet(cfg, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	watchers := make([]*watcher, net.Nodes())
+	for i := range watchers {
+		watchers[i] = &watcher{node: i, arrived: map[uint64]uint64{}}
+		net.AttachAgent(i, watchers[i])
+	}
+
+	// Like Figure 1: core 11 injects M1 slightly before core 1 injects M2.
+	inject := func(node int, at uint64) *noc.Packet {
+		p := &noc.Packet{
+			ID: net.NewPacketID(), VNet: noc.GOReq, Src: node, SID: node,
+			Broadcast: true, Flits: 1, InjectCycle: at,
+		}
+		return p
+	}
+	m1 := inject(11, 0)
+	m2 := inject(1, 2)
+
+	sent1, sent2 := false, false
+	for k.Cycle() < 500 {
+		if !sent1 {
+			sent1 = net.NIC(11).SendRequest(m1)
+		}
+		if k.Cycle() >= 2 && !sent2 {
+			sent2 = net.NIC(1).SendRequest(m2)
+		}
+		k.Step()
+		done := 0
+		for _, w := range watchers {
+			if len(w.released) == 2 {
+				done++
+			}
+		}
+		if done == net.Nodes() {
+			break
+		}
+	}
+
+	fmt.Printf("M%d = GETX from core 11, M%d = GETS from core 1 (window = %d cycles)\n\n",
+		m1.ID, m2.ID, cfg.Notif.Window())
+	fmt.Println("node | arrival cycle M1, M2 | release order (request@cycle)")
+	for i, w := range watchers {
+		fmt.Printf("%4d | %7d, %12d | %v\n", i, w.arrived[m1.ID], w.arrived[m2.ID], w.released)
+	}
+	if err := net.VerifyGlobalOrder(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEvery node released the requests in the same global order,")
+	fmt.Println("even though the broadcasts arrived at different times per node.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate the 36-core SCORPIO chip running one benchmark and
+// print what the paper's evaluation cares about — L2 service latency, the
+// cache-to-cache service ratio, and the miss-latency breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scorpio"
+)
+
+func main() {
+	cfg := scorpio.Config{
+		Benchmark:     "barnes", // any of scorpio.Benchmarks()
+		WorkPerCore:   300,
+		WarmupPerCore: 300,
+	}
+	fmt.Println("Simulating the 36-core SCORPIO chip on", cfg.Benchmark, "...")
+	res, err := scorpio.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nruntime:              %d cycles\n", res.Cycles)
+	fmt.Printf("L2 service latency:   %.1f cycles (the paper reports 78 for SCORPIO-D)\n", res.Service.Value())
+	fmt.Printf("hits / misses:        %d / %d\n", res.L2Hits, res.L2Misses)
+	fmt.Printf("served by caches:     %.0f%% of misses avoid memory entirely\n", 100*res.ServedByCacheFrac())
+	fmt.Printf("snoops filtered:      %d of %d (region tracker)\n", res.SnoopsFiltered, res.SnoopsSeen)
+	fmt.Println("\ncache-to-cache miss latency, broken down as in Figure 6b:")
+	fmt.Printf("  %s\n", res.CacheServed.String())
+	fmt.Println("\nmemory-served miss latency (Figure 6c):")
+	fmt.Printf("  %s\n", res.MemServed.String())
+
+	// The same workload on the directory baselines the paper compares with.
+	fmt.Println("\nSame workload on the directory baselines:")
+	for _, p := range []scorpio.Protocol{scorpio.LPDD, scorpio.HTD} {
+		c := cfg
+		c.Protocol = p
+		r, err := scorpio.Run(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s runtime %d cycles (%.2fx SCORPIO), miss latency %.1f\n",
+			p, r.Cycles, float64(r.Cycles)/float64(res.Cycles), r.MissLat.Value())
+	}
+}

@@ -1,0 +1,3 @@
+module scorpio
+
+go 1.22

@@ -1,0 +1,98 @@
+package baseline
+
+import "testing"
+
+func TestTokenBKeysAreDenseAndOrdered(t *testing.T) {
+	tb := NewTokenB()
+	for i := uint64(0); i < 100; i++ {
+		if k := tb.AssignKey(int(i%16), i); k != i {
+			t.Fatalf("key = %d, want %d", k, i)
+		}
+	}
+	if tb.Skippable(5, 1000) {
+		t.Fatal("TokenB keys are never skippable")
+	}
+}
+
+func TestINSOKeySlots(t *testing.T) {
+	o := NewINSO(16, 20, 8)
+	if k := o.AssignKey(3, 0); k != 3 {
+		t.Fatalf("node 3's first key = %d, want 3", k)
+	}
+	if k := o.AssignKey(3, 0); k != 3+16 {
+		t.Fatalf("node 3's second key = %d, want 19", k)
+	}
+	if k := o.AssignKey(7, 0); k != 7 {
+		t.Fatalf("node 7's first key = %d, want 7", k)
+	}
+}
+
+func TestINSOExpiryCoversIdleSlots(t *testing.T) {
+	o := NewINSO(4, 20, 8)
+	o.AssignKey(0, 5) // node 0 is at slot 1; nodes 1..3 idle at slot 0
+	// Window boundary at cycle 20 expires the laggards' gaps.
+	o.Evaluate(20)
+	// Node 1's slot 0 (key 1) expired, visible after the diameter delay.
+	if o.Skippable(1, 20) {
+		t.Fatal("expiry must not be visible before the propagation delay")
+	}
+	if !o.Skippable(1, 28) {
+		t.Fatal("expired slot not skippable after propagation")
+	}
+	// Node 0's slot 0 was assigned, never skippable.
+	if o.Skippable(0, 100) {
+		t.Fatal("assigned slot must not be skippable")
+	}
+	if o.ExpiredSlots == 0 {
+		t.Fatal("no slots expired")
+	}
+}
+
+func TestINSOExpiryBroadcastAccounting(t *testing.T) {
+	o := NewINSO(4, 20, 8)
+	o.AssignKey(0, 5)
+	o.Evaluate(20)
+	sent := 0
+	for node := 0; node < 4; node++ {
+		for o.TakeExpiryBroadcast(node) {
+			sent++
+		}
+	}
+	if sent == 0 {
+		t.Fatal("expiry events owe broadcasts")
+	}
+	if o.ExpiryBroadcast != uint64(sent) {
+		t.Fatal("broadcast accounting inconsistent")
+	}
+	if o.ExpiryRatio() != float64(sent)/1.0 {
+		t.Fatalf("expiry ratio = %v", o.ExpiryRatio())
+	}
+}
+
+func TestINSONoExpiryMidWindow(t *testing.T) {
+	o := NewINSO(4, 20, 8)
+	o.AssignKey(0, 3)
+	o.Evaluate(13) // not a window boundary
+	if o.ExpiredSlots != 0 {
+		t.Fatal("expiry outside a window boundary")
+	}
+}
+
+func TestINSOSmallWindowExpiresFaster(t *testing.T) {
+	fast := NewINSO(4, 20, 8)
+	slow := NewINSO(4, 80, 8)
+	fast.AssignKey(0, 0)
+	slow.AssignKey(0, 0)
+	for c := uint64(1); c <= 80; c++ {
+		fast.Evaluate(c)
+		slow.Evaluate(c)
+	}
+	// key 1 (node 1 slot 0): the 20-cycle window expires it by cycle 28,
+	// the 80-cycle window only by 88.
+	if !fast.Skippable(1, 50) {
+		t.Fatal("fast window should have expired the slot")
+	}
+	if slow.Skippable(1, 50) {
+		t.Fatal("slow window expired the slot too early")
+	}
+}

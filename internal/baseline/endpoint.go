@@ -1,0 +1,263 @@
+// Package baseline implements the prior ordered-interconnect proposals the
+// paper compares against in Figure 7: TokenB [Martin et al., ISCA 2003] and
+// INSO [Agarwal et al., HPCA 2009].
+//
+// Both run the same snoopy protocol and main mesh network as SCORPIO, but
+// order requests differently:
+//
+//   - TokenB performs ordering at the protocol level with tokens; absent
+//     data races (which the paper explicitly does not model, matching its
+//     own methodology) it behaves like snoopy coherence with zero ordering
+//     latency. We model it with an oracle sequencer that hands out global
+//     sequence numbers at injection for free.
+//   - INSO pre-assigns each source a rotating slice of "snoop orders"
+//     (source s owns orders s, s+N, s+2N, …). Nodes process orders
+//     ascending; a source that does not inject must periodically expire its
+//     unused orders by broadcasting expiry messages. Small expiration
+//     windows cost bandwidth (the paper measures 25 expiries per real
+//     message at a 20-cycle window); large windows inflate ordering latency.
+//
+// Both are realised by an Endpoint: a NIC replacement with an idealized
+// (unbounded) reorder buffer that delivers request-class packets in global
+// key order. The idealization is deliberate — it can only flatter the
+// baselines, which is the conservative direction for SCORPIO's comparison.
+package baseline
+
+import (
+	"fmt"
+
+	"scorpio/internal/nic"
+	"scorpio/internal/noc"
+	"scorpio/internal/stats"
+)
+
+// Orderer assigns global order keys to injected requests and decides when a
+// buffered key may be delivered.
+type Orderer interface {
+	// AssignKey gives the next order key for a request injected by node.
+	AssignKey(node int, cycle uint64) uint64
+	// NextDeliverable reports whether key is the next to deliver at a node
+	// that has already delivered all keys below nextKey, and whether the key
+	// is known to be skippable (expired without a request).
+	Skippable(key uint64, cycle uint64) bool
+}
+
+// Endpoint replaces the NIC for the TokenB/INSO baselines: same mesh links,
+// same agent interface, but ordering by externally assigned keys with an
+// unbounded reorder buffer (credits returned on arrival).
+type Endpoint struct {
+	node    int
+	mesh    *noc.Mesh
+	agent   nic.Agent
+	orderer Orderer
+	// expiry, when set (INSO), supplies owed expiry broadcasts.
+	expiry interface{ TakeExpiryBroadcast(node int) bool }
+
+	tr       *noc.OutputTracker
+	reqQ     []*noc.Packet
+	respQ    []*noc.Packet
+	staged   []*noc.Packet
+	stagedR  []*noc.Packet
+	inFlight *noc.Packet
+	nextSeq  int
+	curVC    int
+
+	reorder  map[uint64]reorderEntry // key -> packet awaiting delivery
+	nextKey  uint64
+	respVC   [][]*noc.Flit
+	respAsm  []respAsm
+	doneResp []*noc.Packet
+
+	// Stats
+	Delivered    uint64
+	OrderingWait stats.Mean
+}
+
+type reorderEntry struct {
+	pkt    *noc.Packet
+	arrive uint64
+}
+
+type respAsm struct {
+	pkt   *noc.Packet
+	flits int
+}
+
+// NewEndpoint builds a baseline endpoint on a mesh node.
+func NewEndpoint(node int, mesh *noc.Mesh, orderer Orderer, agent nic.Agent) *Endpoint {
+	cfg := mesh.Config()
+	e := &Endpoint{
+		node: node, mesh: mesh, agent: agent, orderer: orderer,
+		tr:      noc.NewOutputTracker(cfg),
+		reorder: map[uint64]reorderEntry{},
+		respVC:  make([][]*noc.Flit, cfg.TotalVCs(noc.UOResp)),
+		respAsm: make([]respAsm, cfg.TotalVCs(noc.UOResp)),
+	}
+	mesh.AttachESID(node, e)
+	return e
+}
+
+// SetAgent attaches the consumer.
+func (e *Endpoint) SetAgent(a nic.Agent) { e.agent = a }
+
+// SetExpirySource wires the INSO orderer's expiry broadcasts through this
+// endpoint's injection port.
+func (e *Endpoint) SetExpirySource(s interface{ TakeExpiryBroadcast(node int) bool }) {
+	e.expiry = s
+}
+
+// ExpectedSID implements noc.ESIDProvider; baselines do not use reserved
+// VCs (their reorder buffer is unbounded, so the network always drains).
+func (e *Endpoint) ExpectedSID() (int, uint64, bool) { return 0, 0, false }
+
+// SendRequest implements coherence.NetPort: the request gets a global order
+// key from the orderer.
+func (e *Endpoint) SendRequest(p *noc.Packet) bool {
+	if p.VNet != noc.GOReq || !p.Broadcast || p.Flits != 1 {
+		panic(fmt.Sprintf("baseline: SendRequest wants a single-flit broadcast, got %s", p))
+	}
+	e.staged = append(e.staged, p)
+	return true
+}
+
+// SendResponse implements coherence.NetPort.
+func (e *Endpoint) SendResponse(p *noc.Packet) bool {
+	e.stagedR = append(e.stagedR, p)
+	return true
+}
+
+// Evaluate runs one endpoint cycle.
+func (e *Endpoint) Evaluate(cycle uint64) {
+	for _, c := range e.mesh.InjectLink(e.node).Credits() {
+		e.tr.ProcessCredit(c)
+	}
+	e.receive(cycle)
+	e.deliver(cycle)
+	e.inject(cycle)
+}
+
+// Commit stages injections and assigns order keys (the oracle/slot orderers
+// are deterministic, so assignment at commit keeps runs reproducible).
+func (e *Endpoint) Commit(cycle uint64) {
+	for _, p := range e.staged {
+		p.SrcSeq = e.orderer.AssignKey(e.node, cycle)
+		e.reqQ = append(e.reqQ, p)
+		// Loop the packet back for local delivery at its order position.
+		e.reorder[p.SrcSeq] = reorderEntry{pkt: p, arrive: cycle}
+	}
+	e.staged = nil
+	if len(e.stagedR) > 0 {
+		e.respQ = append(e.respQ, e.stagedR...)
+		e.stagedR = nil
+	}
+	// Owed INSO expiry broadcasts consume real request-class bandwidth.
+	if e.expiry != nil && e.expiry.TakeExpiryBroadcast(e.node) {
+		e.reqQ = append(e.reqQ, &noc.Packet{
+			ID: e.mesh.NextPacketID(), VNet: noc.GOReq, Src: e.node, SID: e.node,
+			Broadcast: true, Flits: 1, Kind: KindExpiry, SrcSeq: ^uint64(0), InjectCycle: cycle,
+		})
+	}
+}
+
+// receive drains the eject link into the reorder buffer (requests) or the
+// assembly registers (responses), returning credits immediately.
+func (e *Endpoint) receive(cycle uint64) {
+	ej := e.mesh.EjectLink(e.node)
+	f := ej.Flit()
+	if f == nil {
+		return
+	}
+	switch f.Pkt.VNet {
+	case noc.GOReq:
+		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true})
+		if f.Pkt.Kind == KindExpiry {
+			return // bandwidth spent; nothing to order
+		}
+		e.reorder[f.Pkt.SrcSeq] = reorderEntry{pkt: f.Pkt, arrive: cycle}
+	case noc.UOResp:
+		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail()})
+		as := &e.respAsm[f.InVC()]
+		if as.pkt == nil {
+			as.pkt = f.Pkt
+		}
+		as.flits++
+		if f.IsTail() {
+			e.doneResp = append(e.doneResp, f.Pkt)
+			as.pkt = nil
+			as.flits = 0
+		}
+	}
+}
+
+// deliver forwards the next in-order request (skipping expired keys) and
+// assembled responses.
+func (e *Endpoint) deliver(cycle uint64) {
+	if e.agent == nil {
+		return
+	}
+	// Skip any expired keys.
+	for e.orderer.Skippable(e.nextKey, cycle) {
+		if _, ok := e.reorder[e.nextKey]; ok {
+			break // a real request occupies the key after all
+		}
+		e.nextKey++
+	}
+	if entry, ok := e.reorder[e.nextKey]; ok {
+		if e.agent.AcceptOrderedRequest(entry.pkt, entry.arrive, cycle) {
+			delete(e.reorder, e.nextKey)
+			e.nextKey++
+			e.Delivered++
+			e.OrderingWait.Observe(float64(cycle - entry.arrive))
+		}
+	}
+	if len(e.doneResp) > 0 {
+		if e.agent.AcceptResponse(e.doneResp[0], cycle) {
+			e.doneResp = e.doneResp[1:]
+		}
+	}
+}
+
+// inject serializes one flit per cycle, requests before responses.
+func (e *Endpoint) inject(cycle uint64) {
+	if e.inFlight != nil {
+		if !e.tr.CanSendBody(e.inFlight.VNet, e.curVC) {
+			return
+		}
+		e.tr.ChargeBody(e.inFlight.VNet, e.curVC)
+		e.send(e.inFlight, e.nextSeq)
+		e.nextSeq++
+		if e.nextSeq == e.inFlight.Flits {
+			e.inFlight = nil
+		}
+		return
+	}
+	if len(e.reqQ) > 0 {
+		p := e.reqQ[0]
+		if vc, ok := e.tr.AllocHeadVC(noc.GOReq, p.SID, false); ok {
+			e.tr.ClaimHeadVC(noc.GOReq, vc, p.SID)
+			e.curVC = vc
+			p.NetworkEntry = cycle
+			e.send(p, 0)
+			e.reqQ = e.reqQ[1:]
+		}
+		return
+	}
+	if len(e.respQ) > 0 {
+		p := e.respQ[0]
+		if vc, ok := e.tr.AllocHeadVC(noc.UOResp, p.SID, false); ok {
+			e.tr.ClaimHeadVC(noc.UOResp, vc, p.SID)
+			e.curVC = vc
+			p.NetworkEntry = cycle
+			e.send(p, 0)
+			e.respQ = e.respQ[1:]
+			if p.Flits > 1 {
+				e.inFlight = p
+				e.nextSeq = 1
+			}
+		}
+	}
+}
+
+func (e *Endpoint) send(p *noc.Packet, seq int) {
+	e.mesh.InjectLink(e.node).Send(noc.NewFlit(p, seq, e.curVC))
+}

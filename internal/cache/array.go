@@ -1,0 +1,166 @@
+// Package cache provides the storage structures of a SCORPIO tile: a generic
+// set-associative array with LRU replacement (used by the L1 and L2 caches
+// and the directory caches of the baselines) and the region tracker snoop
+// filter of [Moshovos, ISCA 2005] used for destination filtering.
+package cache
+
+import "fmt"
+
+// Line is one cache entry: its address tag and a caller-defined state value.
+type Line struct {
+	Addr  uint64 // full line address (already shifted by offset bits)
+	State int
+	valid bool
+	lru   uint64
+}
+
+// Array is a set-associative array indexed by line address. The zero state
+// value is reserved for "invalid is fine but explicit": callers define their
+// own state encodings.
+type Array struct {
+	sets  int
+	ways  int
+	lines []Line
+	tick  uint64
+	// Stats
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewArray builds an array with the given geometry. Sets must be a power of
+// two.
+func NewArray(sets, ways int) *Array {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %d sets x %d ways (sets must be a power of two)", sets, ways))
+	}
+	return &Array{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+}
+
+// NewArrayBytes builds an array sized for capacityBytes with the given line
+// size and associativity (the chip's L2: 128KB, 32B lines, 4 ways → 1024
+// sets).
+func NewArrayBytes(capacityBytes, lineBytes, ways int) *Array {
+	sets := capacityBytes / lineBytes / ways
+	if sets == 0 {
+		sets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return NewArray(p, ways)
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// Capacity returns the number of lines the array can hold.
+func (a *Array) Capacity() int { return a.sets * a.ways }
+
+func (a *Array) set(addr uint64) []Line {
+	idx := int(addr) & (a.sets - 1)
+	return a.lines[idx*a.ways : (idx+1)*a.ways]
+}
+
+// Lookup finds the line for addr; it returns nil on miss and does not touch
+// LRU state (use Touch or Get for accesses).
+func (a *Array) Lookup(addr uint64) *Line {
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Get looks up addr, counts hit/miss statistics and updates LRU on hit.
+func (a *Array) Get(addr uint64) *Line {
+	l := a.Lookup(addr)
+	if l == nil {
+		a.Misses++
+		return nil
+	}
+	a.Hits++
+	a.tick++
+	l.lru = a.tick
+	return l
+}
+
+// Touch refreshes the LRU position of addr if present.
+func (a *Array) Touch(addr uint64) {
+	if l := a.Lookup(addr); l != nil {
+		a.tick++
+		l.lru = a.tick
+	}
+}
+
+// Insert places addr with the given state, evicting the LRU line of the set
+// if necessary. It returns the evicted line (valid only if eviction
+// happened).
+func (a *Array) Insert(addr uint64, state int) (evicted Line, didEvict bool) {
+	set := a.set(addr)
+	a.tick++
+	// Reuse an existing entry or a free way first.
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			set[i].State = state
+			set[i].lru = a.tick
+			return Line{}, false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = Line{Addr: addr, State: state, valid: true, lru: a.tick}
+			return Line{}, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted = set[victim]
+	set[victim] = Line{Addr: addr, State: state, valid: true, lru: a.tick}
+	a.Evictions++
+	return evicted, true
+}
+
+// Invalidate removes addr from the array and reports whether it was present.
+func (a *Array) Invalidate(addr uint64) bool {
+	set := a.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (a *Array) Occupancy() int {
+	n := 0
+	for i := range a.lines {
+		if a.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every valid line.
+func (a *Array) ForEach(fn func(l *Line)) {
+	for i := range a.lines {
+		if a.lines[i].valid {
+			fn(&a.lines[i])
+		}
+	}
+}

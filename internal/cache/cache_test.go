@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scorpio/internal/sim"
+)
+
+func TestArrayGeometry(t *testing.T) {
+	a := NewArrayBytes(128*1024, 32, 4) // the chip's L2
+	if a.Sets() != 1024 || a.Ways() != 4 {
+		t.Fatalf("L2 geometry = %dx%d, want 1024x4", a.Sets(), a.Ways())
+	}
+	if a.Capacity() != 4096 {
+		t.Fatalf("capacity = %d lines, want 4096", a.Capacity())
+	}
+	l1 := NewArrayBytes(16*1024, 32, 4)
+	if l1.Capacity() != 512 {
+		t.Fatalf("L1 capacity = %d lines, want 512", l1.Capacity())
+	}
+}
+
+func TestArrayInsertLookupInvalidate(t *testing.T) {
+	a := NewArray(4, 2)
+	if _, evicted := a.Insert(0x100, 7); evicted {
+		t.Fatal("insert into empty set must not evict")
+	}
+	l := a.Lookup(0x100)
+	if l == nil || l.State != 7 {
+		t.Fatalf("lookup returned %+v", l)
+	}
+	l.State = 9
+	if a.Lookup(0x100).State != 9 {
+		t.Fatal("state mutation lost")
+	}
+	if !a.Invalidate(0x100) {
+		t.Fatal("invalidate missed present line")
+	}
+	if a.Lookup(0x100) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	if a.Invalidate(0x100) {
+		t.Fatal("invalidate hit absent line")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := NewArray(1, 2) // one set, two ways
+	a.Insert(1, 0)
+	a.Insert(2, 0)
+	a.Get(1) // make 1 most recent
+	ev, did := a.Insert(3, 0)
+	if !did || ev.Addr != 2 {
+		t.Fatalf("evicted %+v (did=%v), want addr 2", ev, did)
+	}
+	if a.Lookup(1) == nil || a.Lookup(3) == nil {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestArrayReinsertUpdatesState(t *testing.T) {
+	a := NewArray(2, 2)
+	a.Insert(4, 1)
+	if _, did := a.Insert(4, 2); did {
+		t.Fatal("reinsert must not evict")
+	}
+	if got := a.Lookup(4).State; got != 2 {
+		t.Fatalf("state = %d, want 2", got)
+	}
+	if a.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", a.Occupancy())
+	}
+}
+
+func TestArrayOccupancyNeverExceedsCapacity(t *testing.T) {
+	rng := sim.NewRNG(9)
+	a := NewArray(8, 4)
+	for i := 0; i < 5000; i++ {
+		a.Insert(uint64(rng.Intn(1000)), 0)
+		if a.Occupancy() > a.Capacity() {
+			t.Fatal("occupancy exceeded capacity")
+		}
+	}
+}
+
+func TestArrayPropertyInsertThenLookup(t *testing.T) {
+	a := NewArrayBytes(4096, 32, 2)
+	if err := quick.Check(func(addr uint64) bool {
+		a.Insert(addr, 3)
+		l := a.Lookup(addr)
+		return l != nil && l.State == 3 && l.Addr == addr
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionTrackerFiltering(t *testing.T) {
+	rt := NewRegionTracker(4096, 32, 128) // chip parameters
+	// 4KB regions of 32B lines: 128 lines per region, shift 7.
+	rt.NoteFill(0x80) // region 1
+	if !rt.MayBeCached(0x81) {
+		t.Fatal("line in a tracked region must not be filtered")
+	}
+	if rt.MayBeCached(0x200) {
+		t.Fatal("line in an untracked region must be filtered")
+	}
+	rt.NoteEvict(0x80)
+	if rt.MayBeCached(0x85) {
+		t.Fatal("region must disappear when its last line leaves")
+	}
+	if rt.Filtered != 2 || rt.Unfiltered != 1 {
+		t.Fatalf("stats filtered=%d unfiltered=%d, want 2/1", rt.Filtered, rt.Unfiltered)
+	}
+}
+
+func TestRegionTrackerCounts(t *testing.T) {
+	rt := NewRegionTracker(4096, 32, 128)
+	rt.NoteFill(0x80)
+	rt.NoteFill(0x81)
+	rt.NoteEvict(0x80)
+	if !rt.MayBeCached(0x82) {
+		t.Fatal("region with one remaining line filtered")
+	}
+	rt.NoteEvict(0x81)
+	if rt.MayBeCached(0x82) {
+		t.Fatal("empty region not filtered")
+	}
+}
+
+func TestRegionTrackerSaturationIsConservative(t *testing.T) {
+	rt := NewRegionTracker(4096, 32, 2)
+	rt.NoteFill(0 << 7)
+	rt.NoteFill(1 << 7)
+	rt.NoteFill(2 << 7) // over capacity
+	if !rt.Saturated() {
+		t.Fatal("tracker should saturate at 3 regions with capacity 2")
+	}
+	// While saturated nothing may be filtered, even untracked regions.
+	if !rt.MayBeCached(99 << 7) {
+		t.Fatal("saturated tracker filtered a snoop")
+	}
+	rt.NoteEvict(2 << 7)
+	if rt.Saturated() {
+		t.Fatal("tracker should recover when regions drain")
+	}
+	if rt.MayBeCached(99 << 7) {
+		t.Fatal("recovered tracker must filter untracked regions again")
+	}
+}
+
+func TestRegionTrackerPropertyNeverFiltersCachedLine(t *testing.T) {
+	rng := sim.NewRNG(77)
+	rt := NewRegionTracker(4096, 32, 8)
+	cached := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(4096))
+		switch {
+		case rng.Bernoulli(0.5):
+			if !cached[addr] {
+				cached[addr] = true
+				rt.NoteFill(addr)
+			}
+		case cached[addr]:
+			delete(cached, addr)
+			rt.NoteEvict(addr)
+		default:
+			if cached[addr] && !rt.MayBeCached(addr) {
+				t.Fatal("tracker filtered a cached line")
+			}
+		}
+		// The safety property proper: every cached line must pass.
+		probe := uint64(rng.Intn(4096))
+		if cached[probe] && !rt.MayBeCached(probe) {
+			t.Fatalf("iteration %d: cached line %#x filtered", i, probe)
+		}
+	}
+}
+
+func TestL1WriteThroughAndInvalidation(t *testing.T) {
+	l1 := NewL1(16*1024, 32)
+	if l1.Read(0x10) {
+		t.Fatal("cold read must miss")
+	}
+	l1.Fill(0x10)
+	if !l1.Read(0x10) {
+		t.Fatal("read after fill must hit")
+	}
+	l1.Write(0x10) // write-through: stays valid locally
+	if !l1.Present(0x10) {
+		t.Fatal("write must not invalidate the line")
+	}
+	if !l1.Invalidate(0x10) {
+		t.Fatal("invalidation port failed")
+	}
+	if l1.Present(0x10) {
+		t.Fatal("line present after external invalidation")
+	}
+	if l1.Invalidations != 1 || l1.ReadMisses != 1 {
+		t.Fatalf("stats: %+v", l1)
+	}
+}
+
+func TestL1FillEviction(t *testing.T) {
+	l1 := NewL1(4*32, 32) // 4 lines, 4-way: a single set
+	for i := 0; i < 4; i++ {
+		l1.Fill(uint64(i))
+	}
+	ev, did := l1.Fill(99)
+	if !did {
+		t.Fatal("fifth fill into a full set must evict")
+	}
+	if ev > 3 {
+		t.Fatalf("evicted address %d was never inserted", ev)
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+// RegionTracker is the tile's snoop filter (Table 1: 4KB regions, 128
+// entries): it tracks which coarse address regions have any line cached in
+// the local L2, so incoming snoop requests whose region is absent can be
+// answered without an L2 tag lookup (destination filtering).
+//
+// Each entry counts the cached lines of its region; the entry is dropped
+// when the count reaches zero. The tracker is intentionally conservative:
+// while more distinct regions are live than it has entries for, it stops
+// filtering entirely (every snoop gets an L2 lookup), which preserves
+// correctness — a region that may be cached is never filtered.
+type RegionTracker struct {
+	regionShift uint
+	entries     map[uint64]int
+	capacity    int
+	// Stats
+	Filtered   uint64 // snoops answered without an L2 lookup
+	Unfiltered uint64
+}
+
+// NewRegionTracker builds a tracker for the given region size in line
+// addresses. The chip uses 4KB regions and 32B lines: 128 lines per region,
+// shift 7.
+func NewRegionTracker(regionBytes, lineBytes, capacity int) *RegionTracker {
+	shift := uint(0)
+	for (lineBytes << shift) < regionBytes {
+		shift++
+	}
+	return &RegionTracker{regionShift: shift, entries: make(map[uint64]int), capacity: capacity}
+}
+
+func (r *RegionTracker) region(lineAddr uint64) uint64 { return lineAddr >> r.regionShift }
+
+// NoteFill records that a line of the region is now cached.
+func (r *RegionTracker) NoteFill(lineAddr uint64) {
+	r.entries[r.region(lineAddr)]++
+}
+
+// NoteEvict records that a line of the region left the cache.
+func (r *RegionTracker) NoteEvict(lineAddr uint64) {
+	reg := r.region(lineAddr)
+	if c, ok := r.entries[reg]; ok {
+		if c <= 1 {
+			delete(r.entries, reg)
+		} else {
+			r.entries[reg] = c - 1
+		}
+	}
+}
+
+// Saturated reports whether the working set exceeds the tracker's capacity,
+// in which case filtering is suspended.
+func (r *RegionTracker) Saturated() bool { return len(r.entries) > r.capacity }
+
+// MayBeCached reports whether a snoop for the line needs an L2 lookup; a
+// false result is a guaranteed miss (filtered).
+func (r *RegionTracker) MayBeCached(lineAddr uint64) bool {
+	if r.Saturated() {
+		r.Unfiltered++
+		return true
+	}
+	if _, ok := r.entries[r.region(lineAddr)]; ok {
+		r.Unfiltered++
+		return true
+	}
+	r.Filtered++
+	return false
+}
+
+// Occupancy returns the number of live region entries.
+func (r *RegionTracker) Occupancy() int { return len(r.entries) }

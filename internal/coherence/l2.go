@@ -1,0 +1,745 @@
+package coherence
+
+import (
+	"fmt"
+
+	"scorpio/internal/cache"
+	"scorpio/internal/noc"
+	"scorpio/internal/stats"
+)
+
+// Config holds the L2 controller parameters.
+type Config struct {
+	// CapacityBytes/LineBytes/Ways describe the array (chip: 128KB/32B/4).
+	CapacityBytes int
+	LineBytes     int
+	Ways          int
+	// HitLatency is the L2 data-access latency in cycles (10, per the
+	// GEMS-matched model in Section 5).
+	HitLatency int
+	// SnoopTagLatency is the tag-only lookup cost for snoops that miss.
+	SnoopTagLatency int
+	// NonPLOccupancy is the per-snoop occupancy of the non-pipelined
+	// controller (Figure 10's Non-PL); the pipelined one accepts one per
+	// cycle.
+	NonPLOccupancy int
+	// Pipelined selects the fully pipelined L2 of Section 5.3; when false
+	// the controller accepts one ordered request per occupancy period
+	// (Figure 10's Non-PL configuration).
+	Pipelined bool
+	// MSHRs bounds outstanding misses (2 on the chip per the AHB interface,
+	// 16 in the paper's GEMS runs).
+	MSHRs int
+	// FIDCapacity bounds each write MSHR's forwarding-ID list (2).
+	FIDCapacity int
+	// UseRegionTracker enables the snoop filter (Table 1: 4KB regions, 128
+	// entries).
+	UseRegionTracker bool
+	RegionBytes      int
+	RegionEntries    int
+	// CoreQueueDepth bounds buffered core requests.
+	CoreQueueDepth int
+	// DataFlits is the flit count of data responses (from the NoC config).
+	DataFlits int
+}
+
+// DefaultConfig returns the chip's L2 parameters.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes:    128 * 1024,
+		LineBytes:        32,
+		Ways:             4,
+		HitLatency:       10,
+		SnoopTagLatency:  2,
+		NonPLOccupancy:   4,
+		Pipelined:        true,
+		MSHRs:            2,
+		FIDCapacity:      2,
+		UseRegionTracker: true,
+		RegionBytes:      4096,
+		RegionEntries:    128,
+		CoreQueueDepth:   4,
+		DataFlits:        3,
+	}
+}
+
+// Completion reports a finished core request to the trace injector.
+type Completion struct {
+	Addr          uint64
+	Write         bool
+	Value         uint64 // value read (loads) or written (stores)
+	Issue         uint64
+	Done          uint64
+	Hit           bool
+	ServedByCache bool // for misses: cache-to-cache vs memory
+	SelfServed    bool // upgrade satisfied by the tile's own owned line
+	Breakdown     map[stats.BreakdownComponent]uint64
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	CoreReads      uint64
+	CoreWrites     uint64
+	Hits           uint64
+	Misses         uint64
+	SnoopsSeen     uint64
+	SnoopsFiltered uint64
+	SnoopResponses uint64
+	FIDDeferrals   uint64
+	FIDStalls      uint64
+	Writebacks     uint64
+	StalePutM      uint64
+	Invalidations  uint64
+	ServiceLatency stats.Mean // issue→done for all core requests
+	MissLatency    stats.Mean
+}
+
+// fid is one deferred snoop awaiting our in-flight write (SID + request
+// entry ID, Section 4.2).
+type fid struct {
+	src   int
+	reqID uint64
+	kind  Kind
+}
+
+// mshr tracks one outstanding miss.
+type mshr struct {
+	active           bool
+	addr             uint64
+	write            bool
+	issue            uint64
+	reqID            uint64
+	pkt              *noc.Packet
+	wantInject       bool
+	ordered          bool
+	orderedCycle     uint64
+	arriveSelf       uint64
+	dataArrived      bool
+	dataCycle        uint64
+	resp             RespInfo
+	value            uint64 // value being written (write misses)
+	selfServed       bool
+	invalidateOnFill bool
+	fids             []fid
+	fidClosed        bool
+}
+
+// wbEntry tracks one dirty-line writeback in flight.
+type wbEntry struct {
+	addr        uint64
+	value       uint64
+	reqID       uint64
+	pkt         *noc.Packet
+	wantInject  bool
+	putmOrdered bool
+	hijacked    bool // a GetX took ownership before our PutM was ordered
+	awaitAck    bool
+}
+
+// pendingSend is a scheduled response injection.
+type pendingSend struct {
+	readyAt uint64
+	pkt     *noc.Packet
+	resp    *RespInfo // stamped with RespSent when injected
+}
+
+// coreReq is a buffered request from the core/trace injector.
+type coreReq struct {
+	addr  uint64
+	write bool
+	value uint64
+	issue uint64
+}
+
+// L2Controller is the tile's snoopy protocol engine. It implements the
+// split agent interface (CanAcceptOrdered/ProcessOrdered/AcceptResponse)
+// composed into a nic.Agent by the system layer, and sim.Component.
+type L2Controller struct {
+	cfg    Config
+	node   int
+	nic    NetPort
+	newID  func() uint64
+	memMap MemMap
+	arr    *cache.Array
+	rt     *cache.RegionTracker
+	// InvalidateL1 is called whenever inclusion removes a line (optional).
+	InvalidateL1 func(addr uint64)
+	// OnComplete receives finished core requests.
+	OnComplete func(Completion)
+
+	values     map[uint64]uint64 // per-line data (modelled as one word)
+	mshrs      []mshr
+	wbs        []*wbEntry
+	sendQ      []pendingSend
+	coreQ      []coreReq
+	stagedCore []coreReq
+	busyUntil  uint64
+	reqIDNext  uint64
+	Stats      Stats
+}
+
+// NewL2 builds a controller for the given node.
+func NewL2(node int, cfg Config, n NetPort, newID func() uint64, mm MemMap) *L2Controller {
+	l := &L2Controller{
+		cfg:    cfg,
+		node:   node,
+		nic:    n,
+		newID:  newID,
+		memMap: mm,
+		arr:    cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
+		values: map[uint64]uint64{},
+		mshrs:  make([]mshr, cfg.MSHRs),
+	}
+	if cfg.UseRegionTracker {
+		l.rt = cache.NewRegionTracker(cfg.RegionBytes, cfg.LineBytes, cfg.RegionEntries)
+	}
+	return l
+}
+
+// Node returns the tile ID.
+func (l *L2Controller) Node() int { return l.node }
+
+// Array exposes the L2 array (tests, stats).
+func (l *L2Controller) Array() *cache.Array { return l.arr }
+
+// RegionTracker exposes the snoop filter (may be nil).
+func (l *L2Controller) RegionTracker() *cache.RegionTracker { return l.rt }
+
+// ValueOf reports the tracked data value of a resident line (0 if absent).
+func (l *L2Controller) ValueOf(addr uint64) uint64 { return l.values[addr] }
+
+// LineState reports the coherence state of a line (tests).
+func (l *L2Controller) LineState(addr uint64) State {
+	if ln := l.arr.Lookup(addr); ln != nil {
+		return State(ln.State)
+	}
+	return Invalid
+}
+
+// Outstanding reports the number of active MSHRs.
+func (l *L2Controller) Outstanding() int {
+	n := 0
+	for i := range l.mshrs {
+		if l.mshrs[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// CoreRequest offers a memory request from the core/trace injector; addr is
+// a line address (the AHB adapter in front of the controller performs the
+// byte-to-line conversion). It reports false when the request queue is full
+// (the injector retries). The request is visible to the controller from the
+// next cycle.
+func (l *L2Controller) CoreRequest(addr uint64, write bool, cycle uint64) bool {
+	return l.CoreAccess(addr, write, 0, cycle)
+}
+
+// CoreAccess is CoreRequest with an explicit data value for stores; reads
+// report the observed value through Completion.Value. The consistency
+// verification suite (internal/litmus) uses it.
+func (l *L2Controller) CoreAccess(addr uint64, write bool, value uint64, cycle uint64) bool {
+	if len(l.coreQ)+len(l.stagedCore) >= l.cfg.CoreQueueDepth {
+		return false
+	}
+	l.stagedCore = append(l.stagedCore, coreReq{addr: addr, write: write, value: value, issue: cycle})
+	return true
+}
+
+// CanAcceptOrdered reports whether the controller can consume an ordered
+// request this cycle (occupancy model for the Non-PL configuration).
+func (l *L2Controller) CanAcceptOrdered(cycle uint64) bool {
+	return l.cfg.Pipelined || cycle >= l.busyUntil
+}
+
+// charge models controller occupancy.
+func (l *L2Controller) charge(cycle uint64, cost int) {
+	if !l.cfg.Pipelined {
+		l.busyUntil = cycle + uint64(cost)
+	}
+}
+
+// ProcessOrdered consumes one globally ordered request; it returns false to
+// stall the ordered stream (FID list full).
+func (l *L2Controller) ProcessOrdered(p *noc.Packet, arrive, cycle uint64) bool {
+	kind := Kind(p.Kind)
+	if p.Src == l.node {
+		l.processOwnOrdered(p, kind, arrive, cycle)
+		return true
+	}
+	l.Stats.SnoopsSeen++
+	// Snoop against an outstanding miss to the same line.
+	if m := l.findMSHR(p.Addr); m != nil && m.ordered {
+		switch {
+		case m.write && !m.fidClosed && kind != PutM:
+			if len(m.fids) >= l.cfg.FIDCapacity {
+				l.Stats.FIDStalls++
+				return false
+			}
+			m.fids = append(m.fids, fid{src: p.Src, reqID: p.ReqID, kind: kind})
+			if kind == GetX {
+				m.fidClosed = true
+			}
+			l.Stats.FIDDeferrals++
+			l.charge(cycle, 1)
+			return true
+		case m.write && m.fidClosed:
+			// Ownership already promised onward; the next writer serves this.
+			l.charge(cycle, 1)
+			return true
+		case !m.write:
+			if kind == GetX {
+				m.invalidateOnFill = true
+			}
+			l.charge(cycle, 1)
+			return true
+		}
+	}
+	// Snoop against an in-flight writeback (still the dirty owner until the
+	// PutM is ordered).
+	if wb := l.findWB(p.Addr); wb != nil && !wb.putmOrdered && !wb.hijacked && kind != PutM {
+		l.respondData(p, arrive, cycle, cycle+uint64(l.cfg.HitLatency), wb.value)
+		if kind == GetX {
+			wb.hijacked = true
+		}
+		l.charge(cycle, l.cfg.NonPLOccupancy)
+		return true
+	}
+	// Destination filtering: a region-tracker miss answers the snoop with no
+	// L2 lookup.
+	if kind != PutM && l.rt != nil && !l.rt.MayBeCached(p.Addr) {
+		l.Stats.SnoopsFiltered++
+		l.charge(cycle, 1)
+		return true
+	}
+	// Stable-state snoop.
+	ln := l.arr.Lookup(p.Addr)
+	st := Invalid
+	if ln != nil {
+		st = State(ln.State)
+	}
+	switch kind {
+	case GetS:
+		if st.owner() {
+			l.respondData(p, arrive, cycle, cycle+uint64(l.cfg.HitLatency), l.values[p.Addr])
+			ln.State = int(OwnedDirty)
+			l.charge(cycle, l.cfg.NonPLOccupancy)
+			return true
+		}
+	case GetX:
+		if st.owner() {
+			l.respondData(p, arrive, cycle, cycle+uint64(l.cfg.HitLatency), l.values[p.Addr])
+			l.invalidateLine(p.Addr)
+			l.charge(cycle, l.cfg.NonPLOccupancy)
+			return true
+		}
+		if st == Shared {
+			l.invalidateLine(p.Addr)
+		}
+	case PutM:
+		// Another tile's writeback: nothing to do.
+	}
+	l.charge(cycle, l.cfg.SnoopTagLatency)
+	return true
+}
+
+// processOwnOrdered handles the tile's own request reaching its global
+// position.
+func (l *L2Controller) processOwnOrdered(p *noc.Packet, kind Kind, arrive, cycle uint64) {
+	if kind == PutM {
+		wb := l.findWBByReq(p.ReqID)
+		if wb == nil {
+			panic(fmt.Sprintf("coherence: node %d saw own PutM for unknown reqID %d", l.node, p.ReqID))
+		}
+		wb.putmOrdered = true
+		if wb.hijacked {
+			// Ownership moved on before the PutM was ordered; the memory
+			// controller ignores the stale PutM and no data is sent.
+			l.Stats.StalePutM++
+			l.freeWB(wb)
+			return
+		}
+		// Send the dirty data to the line's home memory controller.
+		data := &noc.Packet{
+			ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: l.memMap.HomeMC(p.Addr),
+			Kind: int(WBData), Addr: p.Addr, ReqID: p.ReqID, Flits: l.cfg.DataFlits, InjectCycle: cycle,
+			Payload: &RespInfo{Value: wb.value},
+		}
+		l.sendQ = append(l.sendQ, pendingSend{readyAt: cycle + uint64(l.cfg.HitLatency), pkt: data})
+		wb.awaitAck = true
+		return
+	}
+	m := l.findMSHRByReq(p.ReqID)
+	if m == nil {
+		panic(fmt.Sprintf("coherence: node %d saw own %s for unknown reqID %d", l.node, kind, p.ReqID))
+	}
+	m.ordered = true
+	m.orderedCycle = cycle
+	m.arriveSelf = arrive
+	if m.write {
+		// An upgrade from an owned state self-serves the data.
+		if st := l.LineState(m.addr); st.owner() {
+			m.dataArrived = true
+			m.dataCycle = cycle
+			m.resp.Value = l.values[m.addr]
+			m.selfServed = true
+		}
+	}
+}
+
+// respondData schedules a cache-to-cache data response for an ordered snoop.
+func (l *L2Controller) respondData(p *noc.Packet, arrive, cycle, readyAt uint64, value uint64) {
+	resp := &RespInfo{
+		Value:         value,
+		ServedByCache: true,
+		ReqArrive:     arrive,
+		ReqOrdered:    cycle,
+		Service:       readyAt - cycle,
+	}
+	pkt := &noc.Packet{
+		ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: p.Src,
+		Kind: int(Data), Addr: p.Addr, ReqID: p.ReqID, Flits: l.cfg.DataFlits,
+		InjectCycle: cycle, Payload: resp,
+	}
+	l.sendQ = append(l.sendQ, pendingSend{readyAt: readyAt, pkt: pkt, resp: resp})
+	l.Stats.SnoopResponses++
+}
+
+// invalidateLine removes a line (snoop invalidation), maintaining the region
+// tracker and L1 inclusion.
+func (l *L2Controller) invalidateLine(addr uint64) {
+	if l.arr.Invalidate(addr) {
+		delete(l.values, addr)
+		l.Stats.Invalidations++
+		if l.rt != nil {
+			l.rt.NoteEvict(addr)
+		}
+		if l.InvalidateL1 != nil {
+			l.InvalidateL1(addr)
+		}
+	}
+}
+
+// AcceptResponse consumes an unordered response delivered by the NIC.
+func (l *L2Controller) AcceptResponse(p *noc.Packet, cycle uint64) bool {
+	switch Kind(p.Kind) {
+	case Data, DataMem:
+		m := l.findMSHRByReq(p.ReqID)
+		if m == nil {
+			panic(fmt.Sprintf("coherence: node %d got %s for unknown reqID %d", l.node, Kind(p.Kind), p.ReqID))
+		}
+		m.dataArrived = true
+		m.dataCycle = cycle
+		if ri, ok := p.Payload.(*RespInfo); ok {
+			m.resp = *ri
+		}
+		return true
+	case WBAck:
+		if wb := l.findWBByReq(p.ReqID); wb != nil {
+			l.freeWB(wb)
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("coherence: node %d got unexpected response kind %s", l.node, Kind(p.Kind)))
+	}
+}
+
+// Evaluate runs one controller cycle: inject retries, response sends,
+// completion checks and core-request processing.
+func (l *L2Controller) Evaluate(cycle uint64) {
+	l.drainSendQ(cycle)
+	l.retryInjects(cycle)
+	l.checkCompletions(cycle)
+	l.processCoreQueue(cycle)
+}
+
+// Commit merges staged core requests.
+func (l *L2Controller) Commit(cycle uint64) {
+	if len(l.stagedCore) > 0 {
+		l.coreQ = append(l.coreQ, l.stagedCore...)
+		l.stagedCore = nil
+	}
+}
+
+// drainSendQ injects scheduled responses whose latency elapsed.
+func (l *L2Controller) drainSendQ(cycle uint64) {
+	rest := l.sendQ[:0]
+	for _, s := range l.sendQ {
+		if s.readyAt <= cycle {
+			if s.resp != nil && s.resp.RespSent == 0 {
+				s.resp.RespSent = cycle
+			}
+			if !l.nic.SendResponse(s.pkt) {
+				rest = append(rest, s)
+			}
+			continue
+		}
+		rest = append(rest, s)
+	}
+	l.sendQ = rest
+}
+
+// retryInjects pushes pending ordered requests into the NIC.
+func (l *L2Controller) retryInjects(cycle uint64) {
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.active && m.wantInject {
+			if l.nic.SendRequest(m.pkt) {
+				m.wantInject = false
+			}
+		}
+	}
+	for _, wb := range l.wbs {
+		if wb.wantInject {
+			if l.nic.SendRequest(wb.pkt) {
+				wb.wantInject = false
+			}
+		}
+	}
+}
+
+// checkCompletions finishes misses whose order position and data both
+// arrived.
+func (l *L2Controller) checkCompletions(cycle uint64) {
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if !m.active || !m.ordered || !m.dataArrived {
+			continue
+		}
+		l.completeMiss(m, cycle)
+	}
+}
+
+// completeMiss installs the line, serves deferred FIDs and reports the
+// completion.
+func (l *L2Controller) completeMiss(m *mshr, cycle uint64) {
+	if m.write {
+		l.values[m.addr] = m.value
+		// Serve deferred snoops in their global order, each after a data
+		// access; every deferred reader/writer observes our new value.
+		final := Modified
+		for i, f := range m.fids {
+			readyAt := cycle + uint64((i+1)*l.cfg.HitLatency)
+			resp := &RespInfo{Value: m.value, ServedByCache: true, ReqArrive: m.arriveSelf, ReqOrdered: m.orderedCycle, Service: uint64(l.cfg.HitLatency)}
+			pkt := &noc.Packet{
+				ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: f.src,
+				Kind: int(Data), Addr: m.addr, ReqID: f.reqID, Flits: l.cfg.DataFlits,
+				InjectCycle: cycle, Payload: resp,
+			}
+			l.sendQ = append(l.sendQ, pendingSend{readyAt: readyAt, pkt: pkt, resp: resp})
+			l.Stats.SnoopResponses++
+			switch f.kind {
+			case GetS:
+				final = OwnedDirty
+			case GetX:
+				final = Invalid
+			}
+		}
+		if final == Invalid {
+			l.invalidateLine(m.addr)
+		} else {
+			l.install(m.addr, final, cycle)
+			l.values[m.addr] = m.value
+		}
+	} else if m.invalidateOnFill {
+		// A later writer already claimed the line; deliver the data to the
+		// core but do not cache it.
+	} else {
+		l.install(m.addr, Shared, cycle)
+		l.values[m.addr] = m.resp.Value
+	}
+	l.report(m, cycle)
+	*m = mshr{}
+}
+
+// report emits the completion callback with the Figure 6b/6c breakdown.
+func (l *L2Controller) report(m *mshr, cycle uint64) {
+	l.Stats.Misses++
+	l.Stats.ServiceLatency.Observe(float64(cycle - m.issue))
+	l.Stats.MissLatency.Observe(float64(cycle - m.issue))
+	if l.OnComplete == nil {
+		return
+	}
+	bd := map[stats.BreakdownComponent]uint64{}
+	if m.selfServed {
+		bd[stats.ReqOrdering] = m.orderedCycle - m.pkt.InjectCycle
+	} else if m.resp.ServedByCache {
+		bd[stats.NetBcastReq] = sub(m.resp.ReqArrive, m.pkt.InjectCycle)
+		bd[stats.ReqOrdering] = sub(m.resp.ReqOrdered, m.resp.ReqArrive)
+		bd[stats.SharerAccess] = m.resp.Service
+		bd[stats.NetResp] = sub(m.dataCycle, m.resp.RespSent)
+	} else {
+		bd[stats.NetBcastReq] = sub(m.resp.ReqArrive, m.pkt.InjectCycle)
+		bd[stats.ReqOrdering] = sub(m.resp.ReqOrdered, m.resp.ReqArrive)
+		bd[stats.DirAccess] = m.resp.DirAccess
+		bd[stats.NetResp] = sub(m.dataCycle, m.resp.RespSent)
+	}
+	val := m.resp.Value
+	if m.write {
+		val = m.value
+	}
+	l.OnComplete(Completion{
+		Addr: m.addr, Write: m.write, Value: val, Issue: m.issue, Done: cycle,
+		Hit: false, ServedByCache: m.resp.ServedByCache || m.selfServed,
+		SelfServed: m.selfServed, Breakdown: bd,
+	})
+}
+
+// sub returns a-b, clamped at zero (stamps from different clock domains can
+// be equal).
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// processCoreQueue starts hits and allocates MSHRs for misses, in order.
+func (l *L2Controller) processCoreQueue(cycle uint64) {
+	for len(l.coreQ) > 0 {
+		req := l.coreQ[0]
+		// A same-line transaction in flight stalls the queue head.
+		if l.findMSHR(req.addr) != nil || l.findWB(req.addr) != nil {
+			return
+		}
+		if req.write {
+			l.Stats.CoreWrites++
+		} else {
+			l.Stats.CoreReads++
+		}
+		st := l.LineState(req.addr)
+		hit := st != Invalid && (!req.write || st == Modified)
+		if hit {
+			l.arr.Touch(req.addr)
+			l.Stats.Hits++
+			if req.write {
+				l.values[req.addr] = req.value
+			}
+			l.Stats.ServiceLatency.Observe(float64(cycle + uint64(l.cfg.HitLatency) - req.issue))
+			if l.OnComplete != nil {
+				l.OnComplete(Completion{Addr: req.addr, Write: req.write, Value: l.values[req.addr], Issue: req.issue, Done: cycle + uint64(l.cfg.HitLatency), Hit: true})
+			}
+			l.coreQ = l.coreQ[1:]
+			continue
+		}
+		m := l.freeMSHR()
+		if m == nil {
+			return
+		}
+		// Upgrades keep their line MRU so a concurrent fill can never evict
+		// the very line the in-flight write targets.
+		if st != Invalid {
+			l.arr.Touch(req.addr)
+		}
+		kind := GetS
+		if req.write {
+			kind = GetX
+		}
+		l.reqIDNext++
+		*m = mshr{
+			active: true, addr: req.addr, write: req.write, value: req.value, issue: req.issue,
+			reqID: l.reqIDNext,
+		}
+		m.pkt = &noc.Packet{
+			ID: l.newID(), VNet: noc.GOReq, Src: l.node, SID: l.node, Broadcast: true,
+			Flits: 1, Kind: int(kind), Addr: req.addr, ReqID: m.reqID, InjectCycle: cycle,
+		}
+		if !l.nic.SendRequest(m.pkt) {
+			m.wantInject = true
+		}
+		l.coreQ = l.coreQ[1:]
+	}
+}
+
+// install places a line, handling inclusion and dirty evictions.
+func (l *L2Controller) install(addr uint64, st State, cycle uint64) {
+	ev, did := l.arr.Insert(addr, int(st))
+	if l.rt != nil {
+		l.rt.NoteFill(addr)
+	}
+	if !did {
+		return
+	}
+	if l.rt != nil {
+		l.rt.NoteEvict(ev.Addr)
+	}
+	if l.InvalidateL1 != nil {
+		l.InvalidateL1(ev.Addr)
+	}
+	if State(ev.State).owner() {
+		l.startWriteback(ev.Addr, cycle)
+	} else {
+		delete(l.values, ev.Addr)
+	}
+}
+
+// startWriteback announces a dirty eviction on the ordered network.
+func (l *L2Controller) startWriteback(addr uint64, cycle uint64) {
+	l.reqIDNext++
+	wb := &wbEntry{addr: addr, value: l.values[addr], reqID: l.reqIDNext}
+	delete(l.values, addr)
+	wb.pkt = &noc.Packet{
+		ID: l.newID(), VNet: noc.GOReq, Src: l.node, SID: l.node, Broadcast: true,
+		Flits: 1, Kind: int(PutM), Addr: addr, ReqID: wb.reqID, InjectCycle: cycle,
+	}
+	if !l.nic.SendRequest(wb.pkt) {
+		wb.wantInject = true
+	}
+	l.wbs = append(l.wbs, wb)
+	l.Stats.Writebacks++
+}
+
+func (l *L2Controller) findMSHR(addr uint64) *mshr {
+	for i := range l.mshrs {
+		if l.mshrs[i].active && l.mshrs[i].addr == addr {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2Controller) findMSHRByReq(reqID uint64) *mshr {
+	for i := range l.mshrs {
+		if l.mshrs[i].active && l.mshrs[i].reqID == reqID {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2Controller) freeMSHR() *mshr {
+	for i := range l.mshrs {
+		if !l.mshrs[i].active {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2Controller) findWB(addr uint64) *wbEntry {
+	for _, wb := range l.wbs {
+		if wb.addr == addr {
+			return wb
+		}
+	}
+	return nil
+}
+
+func (l *L2Controller) findWBByReq(reqID uint64) *wbEntry {
+	for _, wb := range l.wbs {
+		if wb.reqID == reqID {
+			return wb
+		}
+	}
+	return nil
+}
+
+func (l *L2Controller) freeWB(wb *wbEntry) {
+	for i, w := range l.wbs {
+		if w == wb {
+			l.wbs = append(l.wbs[:i], l.wbs[i+1:]...)
+			return
+		}
+	}
+}

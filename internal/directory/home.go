@@ -1,0 +1,484 @@
+package directory
+
+import (
+	"fmt"
+
+	"scorpio/internal/cache"
+	"scorpio/internal/coherence"
+	"scorpio/internal/noc"
+	"scorpio/internal/stats"
+)
+
+// HomeConfig parameterises the distributed directory slice at each node.
+type HomeConfig struct {
+	Variant Variant
+	// Nodes is the machine size (homes are interleaved line % Nodes).
+	Nodes int
+	// TotalDirCacheBytes is the machine-wide directory cache budget (256KB
+	// in Section 5.1), split evenly across nodes.
+	TotalDirCacheBytes int
+	// EntryBytes is the per-line directory-cache entry footprint; LPD's
+	// pointer entries are 4x the size of HT's two-bit entries, so LPD
+	// caches fewer lines (Section 5.1).
+	EntryBytes int
+	// Pointers is LPD's sharer-pointer budget (4, chosen in Section 5).
+	Pointers int
+	// DirAccessLatency is the directory cache hit latency (10 cycles).
+	DirAccessLatency int
+	// DirMissPenalty is the extra off-chip latency of a directory cache
+	// miss (fetch from the DRAM-backed full directory).
+	DirMissPenalty int
+	// DRAMLatency is the pipelined data-access latency (90 cycles).
+	DRAMLatency int
+	// DataFlits sizes data responses.
+	DataFlits int
+}
+
+// LPDConfig returns the paper's LPD-D home parameters for an N-node machine.
+func LPDConfig(nodes int) HomeConfig {
+	return HomeConfig{
+		Variant: LPD, Nodes: nodes, TotalDirCacheBytes: 256 * 1024,
+		EntryBytes: 8, Pointers: 4,
+		DirAccessLatency: 10, DirMissPenalty: 140, DRAMLatency: 90, DataFlits: 3,
+	}
+}
+
+// HTConfig returns the paper's HT-D home parameters.
+func HTConfig(nodes int) HomeConfig {
+	c := LPDConfig(nodes)
+	c.Variant = HT
+	c.EntryBytes = 2
+	return c
+}
+
+// HomeStats counts directory activity.
+type HomeStats struct {
+	Transactions  uint64
+	Queued        uint64
+	DirCacheHits  uint64
+	DirCacheMiss  uint64
+	DRAMReads     uint64
+	Forwards      uint64
+	ProbeBcasts   uint64
+	Invalidations uint64
+	Writebacks    uint64
+	StalePutM     uint64
+	QueueWait     stats.Mean
+}
+
+// qreq is a queued (or parked) transaction.
+type qreq struct {
+	pkt    *noc.Packet
+	arrive uint64
+	seen   bool // the line has directory history (a cache miss may recur)
+}
+
+// line is the backing directory state for one line (exact, DRAM-backed; the
+// finite directory cache only affects latency).
+type line struct {
+	owner      int
+	sharers    map[int]bool
+	overflowed bool
+	memValid   bool
+	busy       bool
+	queue      []qreq
+	parked     []qreq          // waiting for writeback data
+	expectWB   uint64          // reqID of the writeback whose data is due (0 = none)
+	wbEarly    map[uint64]bool // WBData that arrived before its PutM was processed
+}
+
+// timer schedules deferred home work.
+type timer struct {
+	at  uint64
+	run func(cycle uint64)
+}
+
+// pendingSend is a scheduled injection.
+type pendingSend struct {
+	readyAt uint64
+	pkt     *noc.Packet
+	isReq   bool // probes go out on the request class
+}
+
+// Home is one node's directory slice.
+type Home struct {
+	cfg   HomeConfig
+	node  int
+	nic   coherence.NetPort
+	newID func() uint64
+	lines map[uint64]*line
+	dirC  *cache.Array
+	// LocalProbe lets HT probes reach the home tile's own L2 (the broadcast
+	// does not loop back in unordered mode). It must return true.
+	LocalProbe func(p *noc.Packet, cycle uint64) bool
+	timers     []timer
+	sendQ      []pendingSend
+	Stats      HomeStats
+}
+
+// NewHome builds a directory slice.
+func NewHome(node int, cfg HomeConfig, n coherence.NetPort, newID func() uint64) *Home {
+	perNode := cfg.TotalDirCacheBytes / cfg.Nodes
+	entries := perNode / cfg.EntryBytes
+	if entries < 4 {
+		entries = 4
+	}
+	return &Home{
+		cfg: cfg, node: node, nic: n, newID: newID,
+		lines: map[uint64]*line{},
+		dirC:  cache.NewArrayBytes(entries*cfg.EntryBytes, cfg.EntryBytes, 4),
+	}
+}
+
+// HomeFor returns the home node of a line in an N-node machine.
+func HomeFor(addr uint64, nodes int) int { return int(addr % uint64(nodes)) }
+
+// line returns the backing entry, defaulting to memory-owned and valid.
+func (h *Home) line(addr uint64) *line {
+	l, ok := h.lines[addr]
+	if !ok {
+		l = &line{owner: -1, memValid: true, sharers: map[int]bool{}, wbEarly: map[uint64]bool{}}
+		h.lines[addr] = l
+	}
+	return l
+}
+
+// Request accepts one requester→home message (ReqGetS/ReqGetX/ReqPutM).
+func (h *Home) Request(p *noc.Packet, arrive, cycle uint64) bool {
+	_, seen := h.lines[p.Addr]
+	l := h.line(p.Addr)
+	q := qreq{pkt: p, arrive: arrive, seen: seen}
+	if l.busy {
+		l.queue = append(l.queue, q)
+		h.Stats.Queued++
+		return true
+	}
+	h.dispatch(l, q, cycle)
+	return true
+}
+
+// dirLatency models the directory cache access. A first touch allocates the
+// entry alongside the data fetch (no extra penalty); re-fetching an evicted
+// entry pays the off-chip penalty — this is the capacity effect that makes
+// LPD's large entries expensive (Section 5.1).
+func (h *Home) dirLatency(addr uint64, seen bool) uint64 {
+	if h.dirC.Get(addr) != nil {
+		h.Stats.DirCacheHits++
+		return uint64(h.cfg.DirAccessLatency)
+	}
+	h.dirC.Insert(addr, 0)
+	if !seen {
+		h.Stats.DirCacheHits++
+		return uint64(h.cfg.DirAccessLatency)
+	}
+	h.Stats.DirCacheMiss++
+	return uint64(h.cfg.DirAccessLatency + h.cfg.DirMissPenalty)
+}
+
+// dispatch begins processing one transaction after the directory access.
+func (h *Home) dispatch(l *line, q qreq, cycle uint64) {
+	h.Stats.Transactions++
+	h.Stats.QueueWait.Observe(float64(cycle - q.arrive))
+	lat := h.dirLatency(q.pkt.Addr, q.seen)
+	l.busy = true
+	h.after(cycle+lat, func(now uint64) { h.process(l, q, now) })
+}
+
+// after schedules deferred work.
+func (h *Home) after(at uint64, run func(uint64)) {
+	h.timers = append(h.timers, timer{at: at, run: run})
+}
+
+// process applies the protocol action for one transaction.
+func (h *Home) process(l *line, q qreq, cycle uint64) {
+	p := q.pkt
+	switch Kind(p.Kind) {
+	case ReqGetS:
+		h.processGetS(l, q, cycle)
+	case ReqGetX:
+		h.processGetX(l, q, cycle)
+	case ReqPutM:
+		h.processPutM(l, q, cycle)
+		// Writebacks complete at the home; no Done follows.
+		h.unblock(l, cycle)
+	default:
+		panic(fmt.Sprintf("directory: home %d got %s as a request", h.node, Kind(p.Kind)))
+	}
+}
+
+func (h *Home) processGetS(l *line, q qreq, cycle uint64) {
+	p := q.pkt
+	if l.owner >= 0 && l.owner != p.Src {
+		// An on-chip owner supplies the data.
+		if h.cfg.Variant == LPD {
+			h.forward(FwdGetS, l.owner, p, q.arrive, cycle, 0)
+		} else {
+			h.probe(ProbeS, p, q.arrive, cycle)
+		}
+		l.sharers[p.Src] = true
+		h.checkOverflow(l)
+		return
+	}
+	if l.owner == p.Src {
+		// Redundant GetS from the owner (lost race); grant without data.
+		h.grant(p, q.arrive, cycle, cycle, 0)
+		return
+	}
+	// Memory supplies the data.
+	l.sharers[p.Src] = true
+	h.checkOverflow(l)
+	h.serveFromMemory(l, q, cycle, 0)
+}
+
+func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
+	p := q.pkt
+	switch {
+	case h.cfg.Variant == HT:
+		// Probe everyone; the owner (if any) sends data. The home is the
+		// ordering point, so invalidations carry no acks.
+		h.probe(ProbeX, p, q.arrive, cycle)
+		if l.owner < 0 {
+			h.serveFromMemory(l, q, cycle, 0)
+		}
+		// An upgrade by the owner (l.owner == p.Src) completes when the
+		// requester's own probe returns to it.
+	case l.overflowed:
+		// LPD past its pointers: fall back to a broadcast, like the paper's
+		// "request is broadcast to all cores".
+		h.probe(ProbeX, p, q.arrive, cycle)
+		if l.owner < 0 {
+			h.serveFromMemory(l, q, cycle, 0)
+		} else if l.owner == p.Src {
+			// Upgrade by the owner under overflow: data-less grant.
+			h.grant(p, q.arrive, cycle, cycle, 0)
+		}
+	default:
+		// LPD with precise sharers.
+		invs := 0
+		for s := range l.sharers {
+			if s != p.Src && s != l.owner {
+				h.invalidate(s, p, q.arrive, cycle)
+				invs++
+			}
+		}
+		switch {
+		case l.owner >= 0 && l.owner != p.Src:
+			h.forward(FwdGetX, l.owner, p, q.arrive, cycle, invs)
+		case l.owner == p.Src:
+			// Upgrade by the owner: grant, no data movement.
+			h.grant(p, q.arrive, cycle, cycle, invs)
+		default:
+			h.serveFromMemory(l, q, cycle, invs)
+		}
+	}
+	l.owner = p.Src
+	l.sharers = map[int]bool{p.Src: true}
+	l.overflowed = false
+}
+
+func (h *Home) processPutM(l *line, q qreq, cycle uint64) {
+	p := q.pkt
+	if l.owner != p.Src {
+		// Stale: ownership moved before the PutM was processed.
+		h.Stats.StalePutM++
+		delete(l.wbEarly, p.ReqID)
+		h.ack(WBAck, p.Src, p, cycle)
+		return
+	}
+	l.owner = -1
+	h.Stats.Writebacks++
+	if l.wbEarly[p.ReqID] {
+		delete(l.wbEarly, p.ReqID)
+		l.memValid = true
+		h.ack(WBAck, p.Src, p, cycle+uint64(h.cfg.DRAMLatency))
+		h.drainParked(l, cycle+uint64(h.cfg.DRAMLatency))
+		return
+	}
+	l.memValid = false
+	l.expectWB = p.ReqID
+}
+
+// WBDataArrived consumes writeback data from the response network.
+func (h *Home) WBDataArrived(p *noc.Packet, cycle uint64) {
+	l := h.line(p.Addr)
+	if l.expectWB == p.ReqID && l.expectWB != 0 {
+		l.expectWB = 0
+		l.memValid = true
+		h.ack(WBAck, p.Src, p, cycle+uint64(h.cfg.DRAMLatency))
+		h.drainParked(l, cycle+uint64(h.cfg.DRAMLatency))
+		return
+	}
+	// The PutM has not been processed yet (or was stale): remember the data.
+	l.wbEarly[p.ReqID] = true
+}
+
+// DoneArrived unblocks a line and dispatches the next queued transaction.
+func (h *Home) DoneArrived(p *noc.Packet, cycle uint64) {
+	l := h.line(p.Addr)
+	if !l.busy {
+		panic(fmt.Sprintf("directory: home %d got Done for idle line %#x", h.node, p.Addr))
+	}
+	h.unblock(l, cycle)
+}
+
+// unblock frees a line and dispatches the next queued transaction.
+func (h *Home) unblock(l *line, cycle uint64) {
+	l.busy = false
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		h.dispatch(l, next, cycle)
+	}
+}
+
+// serveFromMemory schedules a DRAM read and DataD response, parking the
+// request while writeback data is in flight.
+func (h *Home) serveFromMemory(l *line, q qreq, cycle uint64, acks int) {
+	if !l.memValid {
+		l.parked = append(l.parked, q)
+		// Remember the ack count in the parked packet's payload slot.
+		q.pkt.Payload = acks
+		return
+	}
+	p := q.pkt
+	h.Stats.DRAMReads++
+	resp := &RespInfo{ServedByCache: false, HomeArrive: q.arrive, Dispatch: cycle, AckCount: acks}
+	data := &noc.Packet{
+		ID: h.newID(), VNet: noc.UOResp, Src: h.node, Dst: p.Src,
+		Kind: int(DataD), Addr: p.Addr, ReqID: p.ReqID,
+		Flits: h.cfg.DataFlits, InjectCycle: cycle, Payload: resp,
+	}
+	h.queueSend(cycle+uint64(h.cfg.DRAMLatency), data, false, resp)
+}
+
+// drainParked serves requests that waited for writeback data.
+func (h *Home) drainParked(l *line, cycle uint64) {
+	parked := l.parked
+	l.parked = nil
+	for _, q := range parked {
+		acks, _ := q.pkt.Payload.(int)
+		q.pkt.Payload = nil
+		h.serveFromMemory(l, q, cycle, acks)
+	}
+}
+
+// grant sends a data-less completion (upgrade by the current owner).
+func (h *Home) grant(p *noc.Packet, arrive, cycle, sendAt uint64, acks int) {
+	resp := &RespInfo{ServedByCache: true, HomeArrive: arrive, Dispatch: cycle, DataSent: sendAt, AckCount: acks}
+	g := &noc.Packet{
+		ID: h.newID(), VNet: noc.UOResp, Src: h.node, Dst: p.Src,
+		Kind: int(DataD), Addr: p.Addr, ReqID: p.ReqID, Flits: 1,
+		InjectCycle: cycle, Payload: resp,
+	}
+	h.queueSend(sendAt, g, false, resp)
+}
+
+// forward sends an LPD Fwd to the owner.
+func (h *Home) forward(kind Kind, owner int, p *noc.Packet, arrive, cycle uint64, acks int) {
+	h.Stats.Forwards++
+	fwd := &noc.Packet{
+		ID: h.newID(), VNet: noc.UOResp, Src: h.node, Dst: owner,
+		Kind: int(kind), Addr: p.Addr, ReqID: p.ReqID, Flits: 1, InjectCycle: cycle,
+		Payload: &FwdInfo{Requester: p.Src, ReqID: p.ReqID, ReqInject: p.InjectCycle, HomeArrive: arrive, Dispatch: cycle, AckCount: acks},
+	}
+	h.queueSend(cycle, fwd, false, nil)
+}
+
+// probe broadcasts an HT-style probe on the request class and probes the
+// home tile's own L2 locally.
+func (h *Home) probe(kind Kind, p *noc.Packet, arrive, cycle uint64) {
+	h.Stats.ProbeBcasts++
+	info := &FwdInfo{Requester: p.Src, ReqID: p.ReqID, ReqInject: p.InjectCycle, HomeArrive: arrive, Dispatch: cycle}
+	pr := &noc.Packet{
+		ID: h.newID(), VNet: noc.GOReq, Src: h.node, SID: h.node, Broadcast: true,
+		Kind: int(kind), Addr: p.Addr, ReqID: p.ReqID, Flits: 1, InjectCycle: cycle,
+		Payload: info,
+	}
+	h.queueSend(cycle, pr, true, nil)
+	// The broadcast cannot loop back to this node, so probe the co-located
+	// L2 directly (it also closes the requester-is-home upgrade case).
+	if h.LocalProbe != nil {
+		local := *pr
+		local.ID = h.newID()
+		if !h.LocalProbe(&local, cycle) {
+			panic("directory: local probe refused")
+		}
+	}
+}
+
+// invalidate sends an Inv to one sharer; the sharer acks the requester.
+func (h *Home) invalidate(sharer int, p *noc.Packet, arrive, cycle uint64) {
+	h.Stats.Invalidations++
+	inv := &noc.Packet{
+		ID: h.newID(), VNet: noc.UOResp, Src: h.node, Dst: sharer,
+		Kind: int(Inv), Addr: p.Addr, ReqID: p.ReqID, Flits: 1, InjectCycle: cycle,
+		Payload: &FwdInfo{Requester: p.Src, ReqID: p.ReqID, HomeArrive: arrive, Dispatch: cycle},
+	}
+	h.queueSend(cycle, inv, false, nil)
+}
+
+// ack sends a single-flit acknowledgement.
+func (h *Home) ack(kind Kind, dst int, p *noc.Packet, at uint64) {
+	a := &noc.Packet{
+		ID: h.newID(), VNet: noc.UOResp, Src: h.node, Dst: dst,
+		Kind: int(kind), Addr: p.Addr, ReqID: p.ReqID, Flits: 1, InjectCycle: at,
+	}
+	h.queueSend(at, a, false, nil)
+}
+
+// checkOverflow latches LPD pointer overflow.
+func (h *Home) checkOverflow(l *line) {
+	if h.cfg.Variant == LPD && len(l.sharers) > h.cfg.Pointers {
+		l.overflowed = true
+	}
+}
+
+// queueSend schedules a packet injection.
+func (h *Home) queueSend(at uint64, p *noc.Packet, isReq bool, resp *RespInfo) {
+	if resp != nil && resp.DataSent == 0 {
+		// Stamp on actual injection; see Evaluate.
+		p.Payload = resp
+	}
+	h.sendQ = append(h.sendQ, pendingSend{readyAt: at, pkt: p, isReq: isReq})
+}
+
+// Evaluate fires due timers and drains the send queue.
+func (h *Home) Evaluate(cycle uint64) {
+	if len(h.timers) > 0 {
+		// Detach first: timer callbacks may schedule new timers.
+		due := h.timers
+		h.timers = nil
+		for _, t := range due {
+			if t.at <= cycle {
+				t.run(cycle)
+			} else {
+				h.timers = append(h.timers, t)
+			}
+		}
+	}
+	if len(h.sendQ) > 0 {
+		rest := h.sendQ[:0]
+		for _, s := range h.sendQ {
+			if s.readyAt > cycle {
+				rest = append(rest, s)
+				continue
+			}
+			if ri, ok := s.pkt.Payload.(*RespInfo); ok && ri.DataSent == 0 {
+				ri.DataSent = cycle
+			}
+			var ok bool
+			if s.isReq {
+				ok = h.nic.SendRequest(s.pkt)
+			} else {
+				ok = h.nic.SendResponse(s.pkt)
+			}
+			if !ok {
+				rest = append(rest, s)
+			}
+		}
+		h.sendQ = rest
+	}
+}
+
+// Commit implements sim.Component.
+func (h *Home) Commit(cycle uint64) {}

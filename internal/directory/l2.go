@@ -1,0 +1,590 @@
+package directory
+
+import (
+	"fmt"
+
+	"scorpio/internal/cache"
+	"scorpio/internal/coherence"
+	"scorpio/internal/noc"
+	"scorpio/internal/stats"
+)
+
+// L2Config parameterises the requester-side controller of the directory
+// baselines. The cache itself matches the chip's L2 so "all other conditions
+// equal" holds (Section 5.1).
+type L2Config struct {
+	CapacityBytes  int
+	LineBytes      int
+	Ways           int
+	HitLatency     int
+	MSHRs          int
+	CoreQueueDepth int
+	DataFlits      int
+	Nodes          int
+	Variant        Variant
+}
+
+// DefaultL2Config mirrors the chip's L2 for an N-node machine.
+func DefaultL2Config(nodes int, v Variant) L2Config {
+	return L2Config{
+		CapacityBytes: 128 * 1024, LineBytes: 32, Ways: 4,
+		HitLatency: 10, MSHRs: 2, CoreQueueDepth: 4, DataFlits: 3,
+		Nodes: nodes, Variant: v,
+	}
+}
+
+// L2Stats counts requester-side activity.
+type L2Stats struct {
+	CoreReads     uint64
+	CoreWrites    uint64
+	Hits          uint64
+	Misses        uint64
+	ProbesSeen    uint64
+	ProbeAcks     uint64
+	DataForwards  uint64
+	Invalidations uint64
+	Writebacks    uint64
+}
+
+// dmshr is one outstanding directory-protocol miss.
+type dmshr struct {
+	active       bool
+	addr         uint64
+	write        bool
+	issue        uint64
+	reqID        uint64
+	pkt          *noc.Packet
+	wantInject   bool
+	dataNeeded   bool
+	dataArrived  bool
+	dataCycle    uint64
+	acksExpected int // -1 until the data response announces it
+	acksGot      int
+	selfOwned    bool // HT upgrade by the current owner: acks only
+	installed    bool // line installed and home unblocked at data arrival
+	resp         RespInfo
+}
+
+// dwb is one writeback in flight.
+type dwb struct {
+	addr     uint64
+	reqID    uint64
+	putm     *noc.Packet
+	data     *noc.Packet
+	wantPutM bool
+	wantData bool
+	hijacked bool
+}
+
+// dsend is a scheduled injection.
+type dsend struct {
+	readyAt uint64
+	pkt     *noc.Packet
+	isReq   bool
+	resp    *RespInfo
+}
+
+// dcoreReq is a buffered core access.
+type dcoreReq struct {
+	addr  uint64
+	write bool
+	issue uint64
+}
+
+// L2 is the requester-side cache controller of the directory baselines.
+type L2 struct {
+	cfg   L2Config
+	node  int
+	nic   coherence.NetPort
+	newID func() uint64
+	arr   *cache.Array
+	// OnComplete receives finished core requests (same shape as the snoopy
+	// controller so injectors are protocol-agnostic).
+	OnComplete func(coherence.Completion)
+
+	mshrs      []dmshr
+	wbs        []*dwb
+	sendQ      []dsend
+	coreQ      []dcoreReq
+	stagedCore []dcoreReq
+	reqIDNext  uint64
+	Stats      L2Stats
+}
+
+// NewL2 builds a directory-protocol cache controller.
+func NewL2(node int, cfg L2Config, n coherence.NetPort, newID func() uint64) *L2 {
+	return &L2{
+		cfg: cfg, node: node, nic: n, newID: newID,
+		arr:   cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
+		mshrs: make([]dmshr, cfg.MSHRs),
+	}
+}
+
+// Node returns the tile ID.
+func (l *L2) Node() int { return l.node }
+
+// Array exposes the cache array (tests).
+func (l *L2) Array() *cache.Array { return l.arr }
+
+// LineState reports a line's coherence state.
+func (l *L2) LineState(addr uint64) coherence.State {
+	if ln := l.arr.Lookup(addr); ln != nil {
+		return coherence.State(ln.State)
+	}
+	return coherence.Invalid
+}
+
+// CoreRequest offers a line-granular access from the trace injector.
+func (l *L2) CoreRequest(addr uint64, write bool, cycle uint64) bool {
+	if len(l.coreQ)+len(l.stagedCore) >= l.cfg.CoreQueueDepth {
+		return false
+	}
+	l.stagedCore = append(l.stagedCore, dcoreReq{addr: addr, write: write, issue: cycle})
+	return true
+}
+
+// HandleProbe consumes one HT broadcast probe (request class, also invoked
+// locally by the co-located home). It always succeeds.
+func (l *L2) HandleProbe(p *noc.Packet, cycle uint64) bool {
+	info := p.Payload.(*FwdInfo)
+	l.Stats.ProbesSeen++
+	if info.Requester == l.node {
+		// Our own transaction's probe returning: the ordering point has
+		// serialised our request, which completes data-less upgrades — but
+		// only if we still own the line. If an earlier-serialised write took
+		// our ownership first (its probe preceded ours on the same
+		// home-ordered path), the new owner's data response completes us
+		// instead.
+		if m := l.findMSHRByReq(info.ReqID); m != nil && m.selfOwned {
+			if l.ownsLine(p.Addr) != nil {
+				m.dataArrived = true
+				m.dataCycle = cycle
+			} else {
+				m.selfOwned = false
+			}
+		}
+		return true
+	}
+	owner := l.ownsLine(p.Addr)
+	switch Kind(p.Kind) {
+	case ProbeS:
+		if owner != nil {
+			l.sendOwnerData(info, p.Addr, cycle, true, 0)
+			l.ownerToShared(p.Addr, owner)
+		}
+	case ProbeX:
+		// The home is the ordering point, so invalidations need no acks
+		// (the paper's HT-D latency breakdown has no ack segment).
+		if owner != nil {
+			l.sendOwnerData(info, p.Addr, cycle, true, 0)
+			l.ownerGone(p.Addr, owner)
+		} else {
+			l.invalidateIfPresent(p.Addr)
+		}
+	default:
+		panic(fmt.Sprintf("directory: node %d got %s as probe", l.node, Kind(p.Kind)))
+	}
+	return true
+}
+
+// HandleFwd consumes an LPD forward (response class).
+func (l *L2) HandleFwd(p *noc.Packet, cycle uint64) {
+	info := p.Payload.(*FwdInfo)
+	owner := l.ownsLine(p.Addr)
+	if owner == nil {
+		panic(fmt.Sprintf("directory: node %d forwarded %s for line %#x it does not own", l.node, Kind(p.Kind), p.Addr))
+	}
+	switch Kind(p.Kind) {
+	case FwdGetS:
+		l.sendOwnerData(info, p.Addr, cycle, false, 0)
+		l.ownerToShared(p.Addr, owner)
+	case FwdGetX:
+		l.sendOwnerData(info, p.Addr, cycle, false, info.AckCount)
+		l.ownerGone(p.Addr, owner)
+	}
+}
+
+// HandleInv consumes a home invalidation, acking the requester.
+func (l *L2) HandleInv(p *noc.Packet, cycle uint64) {
+	info := p.Payload.(*FwdInfo)
+	l.invalidateIfPresent(p.Addr)
+	l.sendAck(InvAck, info.Requester, p.Addr, info.ReqID, cycle)
+}
+
+// ownsLine reports ownership: the cache line in M/O_D, or an active
+// writeback buffer still holding the dirty data; nil if neither.
+func (l *L2) ownsLine(addr uint64) any {
+	if wb := l.findWB(addr); wb != nil && !wb.hijacked {
+		return wb
+	}
+	if ln := l.arr.Lookup(addr); ln != nil {
+		st := coherence.State(ln.State)
+		if st == coherence.Modified || st == coherence.OwnedDirty {
+			return ln
+		}
+	}
+	return nil
+}
+
+// ownerToShared applies a read-forward at the owner (M/O_D stays owner as
+// O_D; a WB buffer keeps the data).
+func (l *L2) ownerToShared(addr uint64, owner any) {
+	if ln, ok := owner.(*cache.Line); ok {
+		ln.State = int(coherence.OwnedDirty)
+	}
+}
+
+// ownerGone applies a write-forward at the owner: the line (or WB entry)
+// surrenders ownership.
+func (l *L2) ownerGone(addr uint64, owner any) {
+	switch o := owner.(type) {
+	case *cache.Line:
+		l.arr.Invalidate(addr)
+		l.Stats.Invalidations++
+	case *dwb:
+		o.hijacked = true
+	}
+}
+
+// invalidateIfPresent drops a shared copy.
+func (l *L2) invalidateIfPresent(addr uint64) {
+	if l.arr.Invalidate(addr) {
+		l.Stats.Invalidations++
+	}
+}
+
+// sendOwnerData responds with the line to the transaction's requester.
+func (l *L2) sendOwnerData(info *FwdInfo, addr uint64, cycle uint64, broadcast bool, acks int) {
+	l.Stats.DataForwards++
+	resp := &RespInfo{
+		ServedByCache: true, Broadcast: broadcast,
+		HomeArrive: info.HomeArrive, Dispatch: info.Dispatch,
+		OwnerArrive: cycle, AckCount: acks,
+	}
+	pkt := &noc.Packet{
+		ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: info.Requester,
+		Kind: int(DataD), Addr: addr, ReqID: info.ReqID,
+		Flits: l.cfg.DataFlits, InjectCycle: cycle, Payload: resp,
+	}
+	l.sendQ = append(l.sendQ, dsend{readyAt: cycle + uint64(l.cfg.HitLatency), pkt: pkt, resp: resp})
+}
+
+// sendAck sends a single-flit message.
+func (l *L2) sendAck(kind Kind, dst int, addr uint64, reqID uint64, cycle uint64) {
+	pkt := &noc.Packet{
+		ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: dst,
+		Kind: int(kind), Addr: addr, ReqID: reqID, Flits: 1, InjectCycle: cycle,
+	}
+	l.sendQ = append(l.sendQ, dsend{readyAt: cycle, pkt: pkt})
+}
+
+// HandleResponse consumes DataD/InvAck/WBAck (response class).
+func (l *L2) HandleResponse(p *noc.Packet, cycle uint64) {
+	switch Kind(p.Kind) {
+	case DataD:
+		m := l.findMSHRByReq(p.ReqID)
+		if m == nil {
+			panic(fmt.Sprintf("directory: node %d got DataD for unknown reqID %d", l.node, p.ReqID))
+		}
+		m.dataArrived = true
+		m.dataCycle = cycle
+		if ri, ok := p.Payload.(*RespInfo); ok {
+			m.resp = *ri
+			m.acksExpected = ri.AckCount
+		} else {
+			m.acksExpected = 0
+		}
+		// Install and unblock the home at data arrival (GEMS-style
+		// non-blocking completion); the core-visible completion still waits
+		// for invalidation acks.
+		if m.write {
+			l.install(m.addr, coherence.Modified, cycle)
+		} else {
+			l.install(m.addr, coherence.Shared, cycle)
+		}
+		l.sendAck(Done, HomeFor(m.addr, l.cfg.Nodes), m.addr, m.reqID, cycle)
+		m.installed = true
+	case InvAck:
+		m := l.findMSHRByReq(p.ReqID)
+		if m == nil {
+			panic(fmt.Sprintf("directory: node %d got InvAck for unknown reqID %d", l.node, p.ReqID))
+		}
+		m.acksGot++
+	case WBAck:
+		if wb := l.findWBByReq(p.ReqID); wb != nil {
+			l.freeWB(wb)
+		}
+	default:
+		panic(fmt.Sprintf("directory: node %d got unexpected response %s", l.node, Kind(p.Kind)))
+	}
+}
+
+// Evaluate runs one controller cycle.
+func (l *L2) Evaluate(cycle uint64) {
+	l.drainSendQ(cycle)
+	l.retryInjects(cycle)
+	l.checkCompletions(cycle)
+	l.processCoreQueue(cycle)
+}
+
+// Commit merges staged core requests.
+func (l *L2) Commit(cycle uint64) {
+	if len(l.stagedCore) > 0 {
+		l.coreQ = append(l.coreQ, l.stagedCore...)
+		l.stagedCore = nil
+	}
+}
+
+func (l *L2) drainSendQ(cycle uint64) {
+	rest := l.sendQ[:0]
+	for _, s := range l.sendQ {
+		if s.readyAt > cycle {
+			rest = append(rest, s)
+			continue
+		}
+		if s.resp != nil && s.resp.DataSent == 0 {
+			s.resp.DataSent = cycle
+		}
+		var ok bool
+		if s.isReq {
+			ok = l.nic.SendRequest(s.pkt)
+		} else {
+			ok = l.nic.SendResponse(s.pkt)
+		}
+		if !ok {
+			rest = append(rest, s)
+		}
+	}
+	l.sendQ = rest
+}
+
+func (l *L2) retryInjects(cycle uint64) {
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.active && m.wantInject && l.nic.SendRequest(m.pkt) {
+			m.wantInject = false
+		}
+	}
+	for _, wb := range l.wbs {
+		if wb.wantPutM && l.nic.SendRequest(wb.putm) {
+			wb.wantPutM = false
+		}
+		if wb.wantData && l.nic.SendResponse(wb.data) {
+			wb.wantData = false
+		}
+	}
+}
+
+func (l *L2) checkCompletions(cycle uint64) {
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if !m.active {
+			continue
+		}
+		if m.dataNeeded && !m.dataArrived {
+			continue
+		}
+		if m.acksExpected < 0 || m.acksGot < m.acksExpected {
+			continue
+		}
+		l.completeMiss(m, cycle)
+	}
+}
+
+func (l *L2) completeMiss(m *dmshr, cycle uint64) {
+	if !m.installed {
+		// Data-less completions (self-owned upgrades): install now and
+		// unblock the home.
+		if m.write {
+			l.install(m.addr, coherence.Modified, cycle)
+		} else {
+			l.install(m.addr, coherence.Shared, cycle)
+		}
+		l.sendAck(Done, HomeFor(m.addr, l.cfg.Nodes), m.addr, m.reqID, cycle)
+	}
+	l.report(m, cycle)
+	*m = dmshr{}
+}
+
+// report emits the completion callback with the Figure 6b/6c breakdown.
+func (l *L2) report(m *dmshr, cycle uint64) {
+	l.Stats.Misses++
+	if l.OnComplete == nil {
+		return
+	}
+	bd := map[stats.BreakdownComponent]uint64{}
+	inj := m.pkt.InjectCycle
+	switch {
+	case m.selfOwned:
+		// Upgrade completed on acks alone; only the round trip matters.
+	case m.resp.ServedByCache && m.resp.DataSent > 0 && m.resp.OwnerArrive > 0:
+		bd[stats.NetReqToDir] = sub(m.resp.HomeArrive, inj)
+		bd[stats.DirAccess] = sub(m.resp.Dispatch, m.resp.HomeArrive)
+		if m.resp.Broadcast {
+			bd[stats.NetBcastReq] = sub(m.resp.OwnerArrive, m.resp.Dispatch)
+		} else {
+			bd[stats.NetDirToSharer] = sub(m.resp.OwnerArrive, m.resp.Dispatch)
+		}
+		bd[stats.SharerAccess] = sub(m.resp.DataSent, m.resp.OwnerArrive)
+		bd[stats.NetResp] = sub(m.dataCycle, m.resp.DataSent)
+	case m.dataArrived:
+		bd[stats.NetReqToDir] = sub(m.resp.HomeArrive, inj)
+		bd[stats.DirAccess] = sub(m.resp.DataSent, m.resp.HomeArrive)
+		bd[stats.NetResp] = sub(m.dataCycle, m.resp.DataSent)
+	}
+	served := m.resp.ServedByCache || m.selfOwned
+	l.OnComplete(coherence.Completion{
+		Addr: m.addr, Write: m.write, Issue: m.issue, Done: cycle,
+		Hit: false, ServedByCache: served, SelfServed: m.selfOwned, Breakdown: bd,
+	})
+}
+
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+func (l *L2) processCoreQueue(cycle uint64) {
+	for len(l.coreQ) > 0 {
+		req := l.coreQ[0]
+		if l.findMSHR(req.addr) != nil || l.findWB(req.addr) != nil {
+			return
+		}
+		if req.write {
+			l.Stats.CoreWrites++
+		} else {
+			l.Stats.CoreReads++
+		}
+		st := l.LineState(req.addr)
+		hit := st != coherence.Invalid && (!req.write || st == coherence.Modified)
+		if hit {
+			l.arr.Touch(req.addr)
+			l.Stats.Hits++
+			if l.OnComplete != nil {
+				l.OnComplete(coherence.Completion{Addr: req.addr, Write: req.write, Issue: req.issue, Done: cycle + uint64(l.cfg.HitLatency), Hit: true})
+			}
+			l.coreQ = l.coreQ[1:]
+			continue
+		}
+		m := l.freeMSHR()
+		if m == nil {
+			return
+		}
+		// Upgrades keep their line MRU so a concurrent fill can never evict
+		// the very line the in-flight write targets.
+		if st != coherence.Invalid {
+			l.arr.Touch(req.addr)
+		}
+		kind := ReqGetS
+		if req.write {
+			kind = ReqGetX
+		}
+		l.reqIDNext++
+		*m = dmshr{
+			active: true, addr: req.addr, write: req.write, issue: req.issue,
+			reqID: l.reqIDNext, dataNeeded: true, acksExpected: -1,
+		}
+		if req.write && l.cfg.Variant == HT && st == coherence.OwnedDirty {
+			// HT upgrade by the owner: nobody sends data; our own probe
+			// returning from the ordering point completes the upgrade.
+			m.selfOwned = true
+			m.acksExpected = 0
+		}
+		m.pkt = &noc.Packet{
+			ID: l.newID(), VNet: noc.GOReq, Src: l.node, SID: l.node,
+			Dst:  HomeFor(req.addr, l.cfg.Nodes),
+			Kind: int(kind), Addr: req.addr, ReqID: m.reqID, Flits: 1, InjectCycle: cycle,
+		}
+		if !l.nic.SendRequest(m.pkt) {
+			m.wantInject = true
+		}
+		l.coreQ = l.coreQ[1:]
+	}
+}
+
+// install places a line, handling dirty evictions.
+func (l *L2) install(addr uint64, st coherence.State, cycle uint64) {
+	ev, did := l.arr.Insert(addr, int(st))
+	if !did {
+		return
+	}
+	es := coherence.State(ev.State)
+	if es == coherence.Modified || es == coherence.OwnedDirty {
+		l.startWriteback(ev.Addr, cycle)
+	}
+}
+
+// startWriteback sends PutM (request class) plus the data (response class).
+func (l *L2) startWriteback(addr uint64, cycle uint64) {
+	l.reqIDNext++
+	home := HomeFor(addr, l.cfg.Nodes)
+	wb := &dwb{addr: addr, reqID: l.reqIDNext}
+	wb.putm = &noc.Packet{
+		ID: l.newID(), VNet: noc.GOReq, Src: l.node, SID: l.node, Dst: home,
+		Kind: int(ReqPutM), Addr: addr, ReqID: wb.reqID, Flits: 1, InjectCycle: cycle,
+	}
+	wb.data = &noc.Packet{
+		ID: l.newID(), VNet: noc.UOResp, Src: l.node, Dst: home,
+		Kind: int(WBData), Addr: addr, ReqID: wb.reqID, Flits: l.cfg.DataFlits, InjectCycle: cycle,
+	}
+	wb.wantPutM = !l.nic.SendRequest(wb.putm)
+	wb.wantData = !l.nic.SendResponse(wb.data)
+	l.wbs = append(l.wbs, wb)
+	l.Stats.Writebacks++
+}
+
+func (l *L2) findMSHR(addr uint64) *dmshr {
+	for i := range l.mshrs {
+		if l.mshrs[i].active && l.mshrs[i].addr == addr {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2) findMSHRByReq(reqID uint64) *dmshr {
+	for i := range l.mshrs {
+		if l.mshrs[i].active && l.mshrs[i].reqID == reqID {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2) freeMSHR() *dmshr {
+	for i := range l.mshrs {
+		if !l.mshrs[i].active {
+			return &l.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (l *L2) findWB(addr uint64) *dwb {
+	for _, wb := range l.wbs {
+		if wb.addr == addr {
+			return wb
+		}
+	}
+	return nil
+}
+
+func (l *L2) findWBByReq(reqID uint64) *dwb {
+	for _, wb := range l.wbs {
+		if wb.reqID == reqID {
+			return wb
+		}
+	}
+	return nil
+}
+
+func (l *L2) freeWB(wb *dwb) {
+	for i, w := range l.wbs {
+		if w == wb {
+			l.wbs = append(l.wbs[:i], l.wbs[i+1:]...)
+			return
+		}
+	}
+}

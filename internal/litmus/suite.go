@@ -1,0 +1,110 @@
+package litmus
+
+// Suite returns the standard sequential-consistency litmus tests, expressed
+// over distinct shared lines x, y (and z for the longer ones). Every
+// Forbidden predicate encodes an outcome SC rules out.
+func Suite() []Test {
+	const (
+		x = uint64(0x1000)
+		y = uint64(0x2000)
+		z = uint64(0x3000)
+	)
+	return []Test{
+		{
+			// Message passing: if the consumer sees the flag it must see the
+			// data.
+			Name: "MP",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}, {Addr: y, Write: true, Value: 1}},
+				{{Addr: y}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[1][0] == 1 && l[1][1] == 0
+			},
+		},
+		{
+			// Store buffering: SC forbids both threads missing the other's
+			// store.
+			Name: "SB",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}, {Addr: y}},
+				{{Addr: y, Write: true, Value: 1}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[0][0] == 0 && l[1][0] == 0
+			},
+		},
+		{
+			// Load buffering: both threads reading the other's not-yet-issued
+			// store is impossible when each load precedes the store in
+			// program order.
+			Name: "LB",
+			Threads: [][]Op{
+				{{Addr: x}, {Addr: y, Write: true, Value: 1}},
+				{{Addr: y}, {Addr: x, Write: true, Value: 1}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[0][0] == 1 && l[1][0] == 1
+			},
+		},
+		{
+			// Independent reads of independent writes: the two readers must
+			// agree on the order of the two writes.
+			Name: "IRIW",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}},
+				{{Addr: y, Write: true, Value: 1}},
+				{{Addr: x}, {Addr: y}},
+				{{Addr: y}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[2][0] == 1 && l[2][1] == 0 && l[3][0] == 1 && l[3][1] == 0
+			},
+		},
+		{
+			// Coherence order (CoRR): two reads of one location by the same
+			// thread must not observe values going backwards.
+			Name: "CoRR",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}, {Addr: x, Write: true, Value: 2}},
+				{{Addr: x}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[1][0] == 2 && l[1][1] < 2
+			},
+		},
+		{
+			// Coherence-order agreement: two independent writers to one
+			// line may serialise either way, but every observer must see the
+			// same order — two observers seeing opposite transitions is
+			// forbidden.
+			Name: "CoWW",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}},
+				{{Addr: x, Write: true, Value: 2}},
+				{{Addr: x}, {Addr: x}},
+				{{Addr: x}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				saw12 := l[2][0] == 1 && l[2][1] == 2
+				saw21 := l[2][0] == 2 && l[2][1] == 1
+				saw12b := l[3][0] == 1 && l[3][1] == 2
+				saw21b := l[3][0] == 2 && l[3][1] == 1
+				return (saw12 && saw21b) || (saw21 && saw12b)
+			},
+		},
+		{
+			// WRC (write-to-read causality): T1 sees T0's write then writes
+			// its own flag; T2 seeing the flag must see T0's write.
+			Name: "WRC",
+			Threads: [][]Op{
+				{{Addr: x, Write: true, Value: 1}},
+				{{Addr: x}, {Addr: z, Write: true, Value: 1}},
+				{{Addr: z}, {Addr: x}},
+			},
+			Forbidden: func(l [][]uint64) bool {
+				return l[1][0] == 1 && l[2][0] == 1 && l[2][1] == 0
+			},
+		},
+	}
+}

@@ -1,0 +1,674 @@
+// Package nic implements SCORPIO's network interface controller (Section 3.4
+// of the paper): the block between a tile's coherence agent (L2 cache
+// controller or memory controller) and the two physical networks.
+//
+// On the send path the NIC encapsulates coherence messages into packets,
+// injects them into the appropriate virtual network of the main network, and
+// announces every globally ordered request on the notification network at a
+// later time-window boundary (up to MaxPendingNotifs announcements may be
+// outstanding before new requests are back-pressured).
+//
+// On the receive path the NIC buffers GO-REQ packets arriving in any order
+// and releases them to the agent strictly in the global order derived from
+// the merged notification vectors: each consumed vector is expanded into an
+// Expected Source ID (ESID) sequence by a rotating priority arbiter, and only
+// the packet whose SID matches the current ESID may be forwarded. UO-RESP
+// packets are forwarded in arrival order.
+//
+// A NIC may attach to several main-network meshes (AddMesh): the
+// multiple-main-networks throughput extension of Section 5.3, which is
+// correct precisely because delivery is decoupled from ordering.
+package nic
+
+import (
+	"fmt"
+
+	"scorpio/internal/noc"
+	"scorpio/internal/notif"
+	"scorpio/internal/stats"
+)
+
+// Agent is the tile-side consumer of delivered packets (an L2 cache
+// controller or a memory controller). Implementations must expose committed
+// state only: a delivery decision made during the NIC's evaluate phase must
+// not depend on agent state mutated in the same cycle.
+type Agent interface {
+	// AcceptOrderedRequest offers the agent the next GO-REQ packet in global
+	// order and reports whether the agent consumed it this cycle. arrive is
+	// the cycle the packet reached this node's NIC (broadcast packets are
+	// shared objects, so per-node timestamps travel out of band).
+	AcceptOrderedRequest(p *noc.Packet, arrive, cycle uint64) bool
+	// AcceptResponse offers the agent an UO-RESP packet (arrival order) and
+	// reports whether the agent consumed it this cycle.
+	AcceptResponse(p *noc.Packet, cycle uint64) bool
+}
+
+// Config holds NIC parameters.
+type Config struct {
+	// Ordered enables global ordering of the GO-REQ class via the
+	// notification network. The directory baselines of Section 5 run the
+	// identical NoC with ordering disabled ("minus the ordered virtual
+	// network GO-REQ and notification network"): requests are then unicast
+	// or broadcast and delivered in arrival order.
+	Ordered bool
+	// MaxPendingNotifs bounds unannounced ordered requests (4 on the chip,
+	// Table 1: "max 4 pending messages").
+	MaxPendingNotifs int
+	// TrackerDepth is the notification tracker queue depth in merged
+	// vectors; the stop bit is asserted when the queue is nearly full.
+	TrackerDepth int
+	// InjectQueueDepth bounds each virtual network's agent-side send queue.
+	InjectQueueDepth int
+	// EjectOccupancy is the number of extra cycles the ejection path stays
+	// busy after delivering a packet to the agent; 0 models the fully
+	// pipelined NIC of Section 5.3.
+	EjectOccupancy int
+	// ReqBufDepth is the NIC-internal holding buffer for out-of-order
+	// ordered requests ("it will be buffered in the NIC (or router,
+	// depending on the buffer availability at NIC)", Section 3.1). Requests
+	// drain from the router-facing VC slots into this buffer, freeing
+	// network credits while they wait for their global turn.
+	ReqBufDepth int
+}
+
+// DefaultConfig returns the chip's NIC parameters.
+func DefaultConfig() Config {
+	return Config{Ordered: true, MaxPendingNotifs: 4, TrackerDepth: 16, InjectQueueDepth: 8, EjectOccupancy: 0, ReqBufDepth: 16}
+}
+
+// UnorderedConfig returns the baseline NIC: the same queues with the
+// ordering machinery disabled.
+func UnorderedConfig() Config {
+	c := DefaultConfig()
+	c.Ordered = false
+	return c
+}
+
+// Stats counts NIC activity.
+type Stats struct {
+	InjectedRequests   uint64
+	InjectedResponses  uint64
+	DeliveredRequests  uint64
+	DeliveredResponses uint64
+	SendBlocked        uint64 // SendRequest rejections (notification counter full)
+	StoppedResends     uint64 // announcements voided by a stop window
+	OrderingLatency    stats.Mean
+	NetworkLatency     stats.Mean // injection to NIC arrival, GO-REQ
+	ResponseLatency    stats.Mean // injection to delivery, UO-RESP
+}
+
+// sidRun is one entry of the expanded ESID sequence: count requests expected
+// from source sid.
+type sidRun struct {
+	sid   int
+	count int
+}
+
+// reqEntry is one buffered GO-REQ packet with its local arrival cycle.
+type reqEntry struct {
+	pkt    *noc.Packet
+	arrive uint64
+}
+
+// respAssembly collects the flits of one in-progress UO-RESP packet.
+type respAssembly struct {
+	pkt   *noc.Packet
+	flits int
+}
+
+// meshPort is the NIC's attachment to one main-network mesh: its own
+// injection book-keeping and router-facing VC receive slots. The chip has
+// one; AddMesh stripes traffic over several (Section 5.3's multiple main
+// networks).
+type meshPort struct {
+	mesh     *noc.Mesh
+	tr       *noc.OutputTracker
+	reqQ     []*noc.Packet
+	respQ    []*noc.Packet
+	inFlight *noc.Packet
+	nextSeq  int
+	curVC    int
+	lastVNet noc.VNet
+
+	reqBuf    [][]reqEntry
+	respVCBuf [][]*noc.Flit
+	respBuf   []respAssembly
+	arrivalQ  []int // unordered mode: VC indexes in arrival order
+}
+
+func newMeshPort(cfg noc.Config, mesh *noc.Mesh) *meshPort {
+	return &meshPort{
+		mesh:      mesh,
+		tr:        noc.NewOutputTracker(cfg),
+		reqBuf:    make([][]reqEntry, cfg.TotalVCs(noc.GOReq)),
+		respVCBuf: make([][]*noc.Flit, cfg.TotalVCs(noc.UOResp)),
+		respBuf:   make([]respAssembly, cfg.TotalVCs(noc.UOResp)),
+	}
+}
+
+// NIC is one tile's network interface controller.
+type NIC struct {
+	cfg    Config
+	node   int
+	ports  []*meshPort
+	sendRR int // stripes injected packets across ports
+	nnet   *notif.Network
+	agent  Agent
+	netCfg noc.Config
+	ncfg   notif.Config
+	ownSID int
+	Stats  Stats
+
+	// Send staging (committed into port queues for determinism).
+	stagedReq  []*noc.Packet
+	stagedResp []*noc.Packet
+
+	// Notification send state.
+	unannounced  int // accepted ordered requests not yet announced
+	offerCount   int // committed offer for the upcoming window start
+	offerStop    bool
+	announcedLag int // announcements whose merged vector has not returned yet
+
+	// Receive path.
+	reqHold  []reqEntry    // NIC-internal out-of-order holding buffer
+	doneResp []*noc.Packet // assembled responses awaiting the agent
+	loopback []*noc.Packet // own broadcast requests awaiting own global order
+
+	// Global-order state.
+	trackerQ     []notif.Vector
+	order        []sidRun
+	orderPos     int
+	rrPtr        int
+	esidOut      int    // committed ESID visible to routers
+	esidSeqOut   uint64 // committed expected source sequence number
+	esidValid    bool
+	busy         int      // ejection occupancy countdown
+	srcSeqNext   uint64   // next sequence number for own ordered requests
+	deliveredSeq []uint64 // per source: ordered requests already delivered here
+}
+
+// New builds a NIC for the given node and wires it to the two networks. The
+// agent may be nil initially and set later with SetAgent (systems with
+// circular construction order need this). nnet may be nil when cfg.Ordered
+// is false.
+func New(node int, cfg Config, mesh *noc.Mesh, nnet *notif.Network, agent Agent) *NIC {
+	if cfg.Ordered && nnet == nil {
+		panic("nic: ordered mode requires a notification network")
+	}
+	netCfg := mesh.Config()
+	n := &NIC{
+		cfg:    cfg,
+		node:   node,
+		nnet:   nnet,
+		agent:  agent,
+		netCfg: netCfg,
+		ownSID: node,
+	}
+	n.ports = []*meshPort{newMeshPort(netCfg, mesh)}
+	n.deliveredSeq = make([]uint64, netCfg.Nodes())
+	mesh.AttachESID(node, n)
+	if nnet != nil {
+		n.ncfg = nnet.Config()
+		nnet.AttachSource(node, n)
+	}
+	return n
+}
+
+// AddMesh attaches an additional main network; injected packets stripe
+// round-robin across all attached meshes.
+func (n *NIC) AddMesh(mesh *noc.Mesh) {
+	n.ports = append(n.ports, newMeshPort(n.netCfg, mesh))
+	mesh.AttachESID(n.node, n)
+}
+
+// Meshes reports the number of attached main networks.
+func (n *NIC) Meshes() int { return len(n.ports) }
+
+// SetAgent attaches the tile-side consumer.
+func (n *NIC) SetAgent(a Agent) { n.agent = a }
+
+// Node returns the NIC's node ID.
+func (n *NIC) Node() int { return n.node }
+
+// ExpectedSID implements noc.ESIDProvider with committed state.
+func (n *NIC) ExpectedSID() (int, uint64, bool) { return n.esidOut, n.esidSeqOut, n.esidValid }
+
+// NotificationOffer implements notif.Source with committed state.
+func (n *NIC) NotificationOffer() (int, bool) { return n.offerCount, n.offerStop }
+
+// queuedReqs counts requests staged or queued across all ports.
+func (n *NIC) queuedReqs() int {
+	total := len(n.stagedReq)
+	for _, p := range n.ports {
+		total += len(p.reqQ)
+	}
+	return total
+}
+
+func (n *NIC) queuedResps() int {
+	total := len(n.stagedResp)
+	for _, p := range n.ports {
+		total += len(p.respQ)
+	}
+	return total
+}
+
+// SendRequest enqueues a request-class packet for injection. In ordered
+// mode it must be a single-flit GO-REQ broadcast and is announced on the
+// notification network; in unordered (baseline) mode unicast requests are
+// also allowed and no announcement happens. It reports false when the
+// notification counter or the send queue is full; the agent retries later.
+func (n *NIC) SendRequest(p *noc.Packet) bool {
+	if p.VNet != noc.GOReq || p.Flits != 1 {
+		panic(fmt.Sprintf("nic: SendRequest wants a single-flit GO-REQ packet, got %s", p))
+	}
+	if n.cfg.Ordered && !p.Broadcast {
+		panic(fmt.Sprintf("nic: ordered requests must be broadcast, got %s", p))
+	}
+	if p.SID != n.ownSID {
+		panic(fmt.Sprintf("nic: node %d injecting SID %d", n.node, p.SID))
+	}
+	if !n.cfg.Ordered {
+		if n.queuedReqs() >= n.cfg.InjectQueueDepth {
+			n.Stats.SendBlocked++
+			return false
+		}
+		n.stagedReq = append(n.stagedReq, p)
+		return true
+	}
+	if n.unannounced+len(n.stagedReq) >= n.cfg.MaxPendingNotifs || n.queuedReqs() >= n.cfg.InjectQueueDepth {
+		n.Stats.SendBlocked++
+		return false
+	}
+	p.SrcSeq = n.srcSeqNext
+	n.srcSeqNext++
+	n.stagedReq = append(n.stagedReq, p)
+	return true
+}
+
+// SendResponse enqueues an unordered response for injection. It reports
+// false when the send queue is full.
+func (n *NIC) SendResponse(p *noc.Packet) bool {
+	if p.VNet != noc.UOResp || p.Broadcast {
+		panic(fmt.Sprintf("nic: SendResponse wants a unicast UO-RESP packet, got %s", p))
+	}
+	if n.queuedResps() >= n.cfg.InjectQueueDepth {
+		return false
+	}
+	n.stagedResp = append(n.stagedResp, p)
+	return true
+}
+
+// Evaluate runs one NIC cycle.
+func (n *NIC) Evaluate(cycle uint64) {
+	for _, port := range n.ports {
+		for _, c := range port.mesh.InjectLink(n.node).Credits() {
+			port.tr.ProcessCredit(c)
+		}
+	}
+	if n.cfg.Ordered {
+		n.processNotifications(cycle)
+	}
+	n.receive(cycle)
+	n.deliver(cycle)
+	for _, port := range n.ports {
+		n.inject(port, cycle)
+	}
+}
+
+// Commit latches staged sends (striping them across the attached meshes)
+// and the registered outputs other components sample (ESID for routers, the
+// notification offer for the OR-mesh).
+func (n *NIC) Commit(cycle uint64) {
+	for _, p := range n.stagedReq {
+		port := n.ports[n.sendRR%len(n.ports)]
+		n.sendRR++
+		port.reqQ = append(port.reqQ, p)
+		if n.cfg.Ordered {
+			n.loopback = append(n.loopback, p)
+			n.unannounced++
+		}
+	}
+	n.stagedReq = nil
+	for _, p := range n.stagedResp {
+		port := n.ports[n.sendRR%len(n.ports)]
+		n.sendRR++
+		port.respQ = append(port.respQ, p)
+	}
+	n.stagedResp = nil
+	// Registered ESID output: the exact (SID, sequence) occurrence expected.
+	n.esidValid = n.orderActive()
+	if n.esidValid {
+		n.esidOut = n.order[n.orderPos].sid
+		n.esidSeqOut = n.deliveredSeq[n.esidOut]
+	}
+	// Registered notification offer for the next window start. The vector
+	// being expanded into ESIDs still occupies a slot, so it counts toward
+	// the nearly-full threshold that asserts the stop bit.
+	occupancy := len(n.trackerQ)
+	if n.orderActive() {
+		occupancy++
+	}
+	stop := occupancy >= n.cfg.TrackerDepth-1
+	count := 0
+	if !stop {
+		count = n.unannounced
+		if m := n.ncfg.MaxPerWindow(); count > m {
+			count = m
+		}
+	}
+	n.offerCount, n.offerStop = count, stop
+}
+
+// orderActive reports whether an ESID sequence is being consumed.
+func (n *NIC) orderActive() bool { return n.orderPos < len(n.order) }
+
+// processNotifications handles window boundaries: consuming the merged
+// vector of the window that just ended and accounting for the offer the
+// OR-mesh samples at the window starting now.
+func (n *NIC) processNotifications(cycle uint64) {
+	if v, ok := n.nnet.Delivered(); ok {
+		if v.Stop {
+			// The whole window is voided; re-arm our own announcements.
+			n.unannounced += n.announcedLag
+			if n.announcedLag > 0 {
+				n.Stats.StoppedResends += uint64(n.announcedLag)
+			}
+			n.announcedLag = 0
+		} else {
+			if len(n.trackerQ) >= n.cfg.TrackerDepth {
+				panic(fmt.Sprintf("nic: node %d notification tracker overflow", n.node))
+			}
+			n.trackerQ = append(n.trackerQ, v.Clone())
+			n.announcedLag = 0
+		}
+	}
+	if n.nnet.WindowStart(cycle) {
+		// Our committed offer is being sampled by the OR-mesh right now.
+		n.unannounced -= n.offerCount
+		if n.unannounced < 0 {
+			panic("nic: announced more requests than pending")
+		}
+		n.announcedLag = n.offerCount
+	}
+	// Expand the next vector once the current ESID sequence is exhausted.
+	if !n.orderActive() && len(n.trackerQ) > 0 {
+		v := n.trackerQ[0]
+		n.trackerQ = n.trackerQ[1:]
+		n.order = n.order[:0]
+		nNodes := n.ncfg.Nodes()
+		for k := 0; k < nNodes; k++ {
+			sid := (n.rrPtr + k) % nNodes
+			if c := v.Counts[sid]; c > 0 {
+				n.order = append(n.order, sidRun{sid: sid, count: int(c)})
+			}
+		}
+		n.orderPos = 0
+		// Rotating priority: fairness across windows (Section 3.1).
+		n.rrPtr = (n.rrPtr + 1) % nNodes
+	}
+}
+
+// receive buffers flits arriving from every port's local output port and,
+// unless the ejection path is busy, drains response flits into the packet
+// assembly registers (returning their credits).
+func (n *NIC) receive(cycle uint64) {
+	for _, port := range n.ports {
+		ej := port.mesh.EjectLink(n.node)
+		if f := ej.Flit(); f != nil {
+			switch f.Pkt.VNet {
+			case noc.GOReq:
+				vc := f.InVC()
+				if len(port.reqBuf[vc]) >= n.netCfg.GOReqBufDepth {
+					panic(fmt.Sprintf("nic: node %d GO-REQ VC %d overflow", n.node, vc))
+				}
+				n.Stats.NetworkLatency.Observe(float64(cycle - f.Pkt.NetworkEntry))
+				port.reqBuf[vc] = append(port.reqBuf[vc], reqEntry{pkt: f.Pkt, arrive: cycle})
+				if !n.cfg.Ordered {
+					port.arrivalQ = append(port.arrivalQ, vc)
+				}
+			case noc.UOResp:
+				port.respVCBuf[f.InVC()] = append(port.respVCBuf[f.InVC()], f)
+			}
+		}
+		// Drain ordered requests from the VC slots into the NIC holding
+		// buffer, returning their network credits (ordered mode only; the
+		// unordered baselines deliver straight from the VC slots).
+		if n.cfg.Ordered {
+			for vc := range port.reqBuf {
+				if len(port.reqBuf[vc]) > 0 && len(n.reqHold) < n.cfg.ReqBufDepth {
+					e := port.reqBuf[vc][0]
+					port.reqBuf[vc] = port.reqBuf[vc][1:]
+					n.reqHold = append(n.reqHold, e)
+					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+				}
+			}
+		}
+		if n.busy > 0 {
+			continue
+		}
+		// Drain buffered response flits (one read port per VC).
+		for vc := range port.respVCBuf {
+			if len(port.respVCBuf[vc]) == 0 {
+				continue
+			}
+			f := port.respVCBuf[vc][0]
+			port.respVCBuf[vc] = port.respVCBuf[vc][1:]
+			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail()})
+			as := &port.respBuf[vc]
+			if as.pkt == nil {
+				as.pkt = f.Pkt
+			}
+			as.flits++
+			if f.IsTail() {
+				if as.flits != f.Pkt.Flits {
+					panic(fmt.Sprintf("nic: node %d UO-RESP packet %s assembled %d/%d flits", n.node, f.Pkt, as.flits, f.Pkt.Flits))
+				}
+				f.Pkt.ArriveCycle = cycle
+				n.doneResp = append(n.doneResp, f.Pkt)
+				as.pkt = nil
+				as.flits = 0
+			}
+		}
+	}
+}
+
+// deliver forwards packets to the agent: one request-class packet on the
+// snoop channel (AC) and, independently, one assembled response on the data
+// channels — the AMBA ACE interface of Figure 4 carries them in parallel.
+func (n *NIC) deliver(cycle uint64) {
+	if n.busy > 0 {
+		n.busy--
+		return
+	}
+	if n.agent == nil {
+		return
+	}
+	delivered := false
+	// Unordered (baseline) mode: requests flow in arrival order per port.
+	if !n.cfg.Ordered {
+		for _, port := range n.ports {
+			if len(port.arrivalQ) == 0 {
+				continue
+			}
+			vc := port.arrivalQ[0]
+			e := port.reqBuf[vc][0]
+			if n.agent.AcceptOrderedRequest(e.pkt, e.arrive, cycle) {
+				port.arrivalQ = port.arrivalQ[1:]
+				port.reqBuf[vc] = port.reqBuf[vc][1:]
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+				n.Stats.DeliveredRequests++
+				delivered = true
+			}
+			break
+		}
+	}
+	// Ordered mode: only the globally expected request may pass.
+	if n.cfg.Ordered && n.orderActive() {
+		run := &n.order[n.orderPos]
+		if p, arrive, ok := n.expectedPacket(run.sid); ok {
+			if n.agent.AcceptOrderedRequest(p, arrive, cycle) {
+				n.consumeExpected(run.sid)
+				n.deliveredSeq[run.sid]++
+				n.Stats.DeliveredRequests++
+				n.Stats.OrderingLatency.Observe(float64(cycle - arrive))
+				run.count--
+				if run.count == 0 {
+					n.orderPos++
+				}
+				delivered = true
+			}
+		}
+	}
+	// Assembled responses flow on the parallel data channels.
+	if len(n.doneResp) > 0 {
+		p := n.doneResp[0]
+		if n.agent.AcceptResponse(p, cycle) {
+			n.doneResp = n.doneResp[1:]
+			n.Stats.DeliveredResponses++
+			n.Stats.ResponseLatency.Observe(float64(cycle - p.InjectCycle))
+			delivered = true
+		}
+	}
+	if delivered {
+		n.busy = n.cfg.EjectOccupancy
+	}
+}
+
+// expectedPacket finds the exact (SID, sequence) occurrence the global order
+// expects, searching the loopback queue (own requests), the holding buffer,
+// and the router-facing VC slots of every port.
+func (n *NIC) expectedPacket(sid int) (*noc.Packet, uint64, bool) {
+	seq := n.deliveredSeq[sid]
+	if sid == n.ownSID {
+		if len(n.loopback) > 0 && n.loopback[0].SrcSeq == seq {
+			p := n.loopback[0]
+			return p, p.InjectCycle, true
+		}
+		return nil, 0, false
+	}
+	for _, e := range n.reqHold {
+		if e.pkt.SID == sid && e.pkt.SrcSeq == seq {
+			return e.pkt, e.arrive, true
+		}
+	}
+	for _, port := range n.ports {
+		for _, buf := range port.reqBuf {
+			if len(buf) > 0 && buf[0].pkt.SID == sid && buf[0].pkt.SrcSeq == seq {
+				return buf[0].pkt, buf[0].arrive, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// consumeExpected removes the delivered packet from its buffer, returning a
+// credit to the router when it still occupied a VC slot.
+func (n *NIC) consumeExpected(sid int) {
+	seq := n.deliveredSeq[sid]
+	if sid == n.ownSID {
+		n.loopback = n.loopback[1:]
+		return
+	}
+	for i, e := range n.reqHold {
+		if e.pkt.SID == sid && e.pkt.SrcSeq == seq {
+			n.reqHold = append(n.reqHold[:i], n.reqHold[i+1:]...)
+			return
+		}
+	}
+	for _, port := range n.ports {
+		for vc, buf := range port.reqBuf {
+			if len(buf) > 0 && buf[0].pkt.SID == sid && buf[0].pkt.SrcSeq == seq {
+				port.reqBuf[vc] = buf[1:]
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+				return
+			}
+		}
+	}
+	panic("nic: consumeExpected called without a buffered packet")
+}
+
+// inject serializes at most one flit per cycle into one port's router,
+// alternating between the two virtual networks when both have traffic.
+func (n *NIC) inject(port *meshPort, cycle uint64) {
+	if port.inFlight != nil {
+		n.continueInjection(port, cycle)
+		return
+	}
+	first, second := noc.GOReq, noc.UOResp
+	if port.lastVNet == noc.GOReq {
+		first, second = noc.UOResp, noc.GOReq
+	}
+	for _, v := range []noc.VNet{first, second} {
+		if n.startInjection(port, v, cycle) {
+			port.lastVNet = v
+			return
+		}
+	}
+}
+
+// startInjection tries to begin serializing the head packet of a queue.
+func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
+	var q []*noc.Packet
+	if v == noc.GOReq {
+		q = port.reqQ
+	} else {
+		q = port.respQ
+	}
+	if len(q) == 0 {
+		return false
+	}
+	p := q[0]
+	rvcOK := false
+	if v == noc.GOReq && n.cfg.Ordered {
+		// A fresh broadcast covers every node but this one.
+		rvcOK = port.mesh.Expecting(p.SID, p.SrcSeq, n.node)
+	}
+	vc, ok := port.tr.AllocHeadVC(v, p.SID, rvcOK)
+	if !ok {
+		return false
+	}
+	port.tr.ClaimHeadVC(v, vc, p.SID)
+	port.curVC = vc
+	p.NetworkEntry = cycle
+	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, 0, vc))
+	if p.Flits == 1 {
+		n.finishInjection(port, v)
+	} else {
+		port.inFlight = p
+		port.nextSeq = 1
+	}
+	return true
+}
+
+// continueInjection sends the next body flit of the in-flight packet.
+func (n *NIC) continueInjection(port *meshPort, cycle uint64) {
+	p := port.inFlight
+	if !port.tr.CanSendBody(p.VNet, port.curVC) {
+		return
+	}
+	port.tr.ChargeBody(p.VNet, port.curVC)
+	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, port.nextSeq, port.curVC))
+	port.nextSeq++
+	if port.nextSeq == p.Flits {
+		port.inFlight = nil
+		n.finishInjection(port, p.VNet)
+	}
+}
+
+// finishInjection pops the fully serialized packet off its queue.
+func (n *NIC) finishInjection(port *meshPort, v noc.VNet) {
+	if v == noc.GOReq {
+		port.reqQ = port.reqQ[1:]
+		n.Stats.InjectedRequests++
+	} else {
+		port.respQ = port.respQ[1:]
+		n.Stats.InjectedResponses++
+	}
+}
+
+// PendingNotifications exposes the unannounced counter (for tests).
+func (n *NIC) PendingNotifications() int { return n.unannounced + len(n.stagedReq) }
+
+// TrackerOccupancy exposes the notification tracker queue depth (for tests).
+func (n *NIC) TrackerOccupancy() int { return len(n.trackerQ) }

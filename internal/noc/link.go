@@ -1,0 +1,56 @@
+package noc
+
+// Credit is the flow-control return channel token: the downstream buffer
+// freed one slot of the given virtual channel, and, when FreeVC is set, the
+// tail flit departed so the VC itself may be reallocated to a new packet.
+type Credit struct {
+	VNet   VNet
+	VC     int
+	FreeVC bool
+}
+
+// Link is a one-cycle point-to-point channel between an upstream output port
+// and a downstream input port. Flits flow downstream and credits flow back
+// upstream; both take exactly one cycle. A Link is a kernel component: values
+// written during a cycle's evaluate phase become visible to the other end in
+// the next cycle.
+type Link struct {
+	flit        *Flit
+	nextFlit    *Flit
+	credits     []Credit
+	nextCredits []Credit
+}
+
+// NewLink returns an idle link.
+func NewLink() *Link { return &Link{} }
+
+// Send places a flit on the link; it arrives downstream next cycle. At most
+// one flit may be sent per cycle.
+func (l *Link) Send(f *Flit) {
+	if l.nextFlit != nil {
+		panic("noc: two flits sent on one link in the same cycle")
+	}
+	l.nextFlit = f
+}
+
+// Flit returns the flit that arrived this cycle, or nil.
+func (l *Link) Flit() *Flit { return l.flit }
+
+// SendCredit returns a credit upstream; it arrives next cycle.
+func (l *Link) SendCredit(c Credit) {
+	l.nextCredits = append(l.nextCredits, c)
+}
+
+// Credits returns the credits that arrived this cycle.
+func (l *Link) Credits() []Credit { return l.credits }
+
+// Evaluate implements sim.Component (links have no combinational work).
+func (l *Link) Evaluate(cycle uint64) {}
+
+// Commit latches the pending flit and credits for next-cycle delivery.
+func (l *Link) Commit(cycle uint64) {
+	l.flit = l.nextFlit
+	l.nextFlit = nil
+	l.credits = l.nextCredits
+	l.nextCredits = nil
+}

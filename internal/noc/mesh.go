@@ -1,0 +1,202 @@
+package noc
+
+import (
+	"fmt"
+
+	"scorpio/internal/sim"
+)
+
+// Mesh is the assembled main network: k×k routers, the links between them,
+// and per-node injection/ejection links where network interface controllers
+// attach.
+type Mesh struct {
+	cfg       Config
+	routers   []*Router
+	links     []*Link
+	inject    []*Link
+	eject     []*Link
+	esids     []ESIDProvider
+	nextPktID uint64
+}
+
+// NewMesh builds the mesh described by cfg.
+func NewMesh(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		cfg:    cfg,
+		inject: make([]*Link, cfg.Nodes()),
+		eject:  make([]*Link, cfg.Nodes()),
+		esids:  make([]ESIDProvider, cfg.Nodes()),
+	}
+	esid := func(node int) (int, uint64, bool) {
+		if p := m.esids[node]; p != nil {
+			return p.ExpectedSID()
+		}
+		return 0, 0, false
+	}
+	for id := 0; id < cfg.Nodes(); id++ {
+		m.routers = append(m.routers, newRouter(cfg, id, esid))
+	}
+	newLink := func() *Link {
+		l := NewLink()
+		m.links = append(m.links, l)
+		return l
+	}
+	// Local ports.
+	for id, r := range m.routers {
+		m.inject[id] = newLink()
+		m.eject[id] = newLink()
+		r.attach(Local, m.inject[id], m.eject[id])
+		r.out[Local].downstream = id
+	}
+	// Mesh channels: one link per direction per neighbour pair.
+	for id, r := range m.routers {
+		x, y := cfg.Coord(id)
+		if x+1 < cfg.Width {
+			e := m.routers[cfg.NodeAt(x+1, y)]
+			ab, ba := newLink(), newLink()
+			r.attach(East, ba, ab)
+			e.attach(West, ab, ba)
+			r.out[East].downstream = e.id
+			e.out[West].downstream = r.id
+		}
+		if y+1 < cfg.Height {
+			s := m.routers[cfg.NodeAt(x, y+1)]
+			ab, ba := newLink(), newLink()
+			r.attach(South, ba, ab)
+			s.attach(North, ab, ba)
+			r.out[South].downstream = s.id
+			s.out[North].downstream = r.id
+		}
+	}
+	// Broadcast-tree coverage per output port, for reserved-VC eligibility.
+	for _, r := range m.routers {
+		for p := Port(0); p < NumPorts; p++ {
+			if r.out[p] == nil {
+				continue
+			}
+			if p == Local {
+				r.out[p].coverage = []int{r.id}
+			} else {
+				r.out[p].coverage = m.coverageFrom(r.out[p].downstream, p.opposite())
+			}
+		}
+	}
+	return m, nil
+}
+
+// coverageFrom returns the nodes a broadcast branch delivers to when it
+// enters router s through the given port, following the XY multicast tree.
+func (m *Mesh) coverageFrom(s int, entry Port) []int {
+	r := m.routers[s]
+	mask := r.broadcastMask(entry)
+	var out []int
+	if mask&portMask(Local) != 0 {
+		out = append(out, s)
+	}
+	for p := Port(North); p < NumPorts; p++ {
+		if mask&portMask(p) == 0 {
+			continue
+		}
+		out = append(out, m.coverageFrom(r.out[p].downstream, p.opposite())...)
+	}
+	return out
+}
+
+// Expecting reports whether any node other than exclude is currently waiting
+// for the (sid, seq) request; NICs use it for reserved-VC eligibility at the
+// injection port (a fresh broadcast covers every node but its source).
+func (m *Mesh) Expecting(sid int, seq uint64, exclude int) bool {
+	for node, p := range m.esids {
+		if node == exclude || p == nil {
+			continue
+		}
+		if s, q, ok := p.ExpectedSID(); ok && s == sid && q == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// Config returns the mesh's configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Register adds every router and link to the kernel.
+func (m *Mesh) Register(k *sim.Kernel) {
+	for _, r := range m.routers {
+		k.Register(r)
+	}
+	for _, l := range m.links {
+		k.Register(l)
+	}
+}
+
+// AttachESID registers the node's NIC as the source of ESID values for the
+// reserved-VC eligibility checks of surrounding routers.
+func (m *Mesh) AttachESID(node int, p ESIDProvider) {
+	m.esids[node] = p
+}
+
+// InjectLink returns the link a node's NIC sends flits on (into the router's
+// local input port). Credits for the NIC flow back on the same link.
+func (m *Mesh) InjectLink(node int) *Link { return m.inject[node] }
+
+// EjectLink returns the link a node's NIC receives flits on (from the
+// router's local output port).
+func (m *Mesh) EjectLink(node int) *Link { return m.eject[node] }
+
+// Router returns the router at the given node (for stats and tests).
+func (m *Mesh) Router(node int) *Router { return m.routers[node] }
+
+// NextPacketID issues a unique packet ID.
+func (m *Mesh) NextPacketID() uint64 {
+	m.nextPktID++
+	return m.nextPktID
+}
+
+// Stats sums router statistics across the mesh.
+func (m *Mesh) Stats() RouterStats {
+	var s RouterStats
+	for _, r := range m.routers {
+		s.FlitsAccepted += r.Stats.FlitsAccepted
+		s.FlitsRouted += r.Stats.FlitsRouted
+		s.Bypasses += r.Stats.Bypasses
+		s.Forks += r.Stats.Forks
+		s.BufferReads += r.Stats.BufferReads
+		s.BufferWrites += r.Stats.BufferWrites
+		s.AllocStalls += r.Stats.AllocStalls
+	}
+	return s
+}
+
+// CheckInvariants panics with a description if any router's internal state
+// violates the credit or buffer-occupancy invariants; tests call it after
+// runs.
+func (m *Mesh) CheckInvariants() error {
+	for _, r := range m.routers {
+		for p := Port(0); p < NumPorts; p++ {
+			iu := r.in[p]
+			if iu == nil {
+				continue
+			}
+			for v := VNet(0); v < NumVNets; v++ {
+				for i, vc := range iu.vcs[v] {
+					if len(vc.q) > m.cfg.BufDepthFor(v) {
+						return fmt.Errorf("router %d port %s %s vc %d holds %d flits (cap %d)", r.id, p, v, i, len(vc.q), m.cfg.BufDepthFor(v))
+					}
+				}
+			}
+			ou := r.out[p]
+			for v := VNet(0); v < NumVNets; v++ {
+				for i := 0; i < m.cfg.TotalVCs(v); i++ {
+					if c := ou.tr.Credits(v, i); c < 0 || c > m.cfg.BufDepthFor(v) {
+						return fmt.Errorf("router %d port %s %s vc %d credit %d out of range", r.id, p, v, i, c)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,502 @@
+package noc
+
+import "fmt"
+
+// RouterStats counts router activity for the power model and tests.
+type RouterStats struct {
+	FlitsAccepted uint64 // flits written into input buffers
+	FlitsRouted   uint64 // flit-traversals through the crossbar (forks count each)
+	Bypasses      uint64 // traversals that used the single-cycle bypass path
+	Forks         uint64 // extra traversals produced by multicast forking
+	BufferReads   uint64
+	BufferWrites  uint64
+	AllocStalls   uint64 // cycles a head flit lost allocation or lacked a VC/credit
+}
+
+// vcState is one input virtual channel: its flit queue and, for multi-flit
+// packets, the route and downstream VC allocated by the head flit.
+type vcState struct {
+	q       []*Flit
+	outPort Port
+	outVC   int
+	active  bool
+}
+
+// inputUnit is one router input port: the incoming link and its VC buffers.
+type inputUnit struct {
+	link *Link
+	vcs  [NumVNets][]*vcState
+}
+
+func newInputUnit(cfg Config, link *Link) *inputUnit {
+	iu := &inputUnit{link: link}
+	for v := VNet(0); v < NumVNets; v++ {
+		n := cfg.TotalVCs(v)
+		iu.vcs[v] = make([]*vcState, n)
+		for i := 0; i < n; i++ {
+			iu.vcs[v][i] = &vcState{}
+		}
+	}
+	return iu
+}
+
+// outputUnit is one router output port: the outgoing link, the credit/VC/SID
+// book-keeping for the downstream input port, the downstream node ID, and the
+// set of nodes a broadcast branch through this port still delivers to (used
+// for reserved-VC eligibility checks).
+type outputUnit struct {
+	link       *Link
+	tr         *OutputTracker
+	downstream int
+	coverage   []int
+}
+
+// grant describes one (input flit → output port) crossbar traversal decided
+// by switch allocation in the current cycle.
+type grant struct {
+	in     Port
+	vnet   VNet
+	vcIdx  int
+	flit   *Flit
+	out    Port
+	dstVC  int
+	isHead bool
+}
+
+// Router is one three-stage (single-stage with bypassing) mesh router.
+type Router struct {
+	cfg    Config
+	id     int
+	x, y   int
+	esid   func(node int) (int, uint64, bool)
+	in     [NumPorts]*inputUnit
+	out    [NumPorts]*outputUnit
+	saPtr  [NumPorts]int // SA-O round-robin pointer per output port
+	saiPtr [NumPorts]int // SA-I round-robin pointer per input port
+	Stats  RouterStats
+	now    uint64
+}
+
+// newRouter builds a router; links are attached by the mesh.
+func newRouter(cfg Config, id int, esid func(node int) (int, uint64, bool)) *Router {
+	x, y := cfg.Coord(id)
+	return &Router{cfg: cfg, id: id, x: x, y: y, esid: esid}
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() int { return r.id }
+
+// attach wires an input and output link pair for one port.
+func (r *Router) attach(p Port, in, out *Link) {
+	r.in[p] = newInputUnit(r.cfg, in)
+	r.out[p] = &outputUnit{link: out, tr: NewOutputTracker(r.cfg)}
+}
+
+// Evaluate runs one cycle of the router: credit processing, buffer write of
+// arriving flits, switch allocation, and switch traversal.
+func (r *Router) Evaluate(cycle uint64) {
+	r.now = cycle
+	for _, ou := range r.out {
+		if ou == nil {
+			continue
+		}
+		for _, c := range ou.link.Credits() {
+			ou.tr.ProcessCredit(c)
+		}
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		iu := r.in[p]
+		if iu == nil {
+			continue
+		}
+		if f := iu.link.Flit(); f != nil {
+			r.acceptFlit(p, iu, f)
+		}
+	}
+	r.allocate()
+}
+
+// Commit implements sim.Component; all router state is updated in Evaluate
+// and isolation between routers is provided by the links.
+func (r *Router) Commit(cycle uint64) {}
+
+// acceptFlit performs buffer write (BW) and, for head flits, route
+// computation.
+func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
+	vnet := f.Pkt.VNet
+	if f.Pkt.Broadcast && f.Pkt.Flits != 1 {
+		panic(fmt.Sprintf("noc: router %d received multi-flit broadcast %s; broadcasts must be single-flit", r.id, f.Pkt))
+	}
+	vc := iu.vcs[vnet][f.inVC]
+	if len(vc.q) >= r.cfg.BufDepthFor(vnet) {
+		panic(fmt.Sprintf("noc: router %d port %s VC overflow — credit protocol violated", r.id, p))
+	}
+	f.arrival = r.now
+	f.bypassCandidate = r.cfg.Bypass && len(vc.q) == 0
+	if f.IsHead() {
+		if f.Pkt.Broadcast {
+			f.outPorts = r.broadcastMask(p)
+		} else {
+			f.outPorts = portMask(r.routeUnicast(f.Pkt.Dst))
+		}
+	}
+	vc.q = append(vc.q, f)
+	r.Stats.FlitsAccepted++
+	r.Stats.BufferWrites++
+}
+
+// routeUnicast implements dimension-ordered XY routing.
+func (r *Router) routeUnicast(dst int) Port {
+	dx, dy := r.cfg.Coord(dst)
+	switch {
+	case dx > r.x:
+		return East
+	case dx < r.x:
+		return West
+	case dy > r.y:
+		return South
+	case dy < r.y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// broadcastMask returns the XY multicast-tree output set for a broadcast flit
+// that arrived on the given port: the flit travels both ways along the source
+// row forking into every column, and straight along columns, delivering a
+// local copy at every router except the source (whose NIC loops back its own
+// copy internally).
+func (r *Router) broadcastMask(arrival Port) uint8 {
+	var mask uint8
+	add := func(p Port) {
+		if r.out[p] != nil {
+			mask |= portMask(p)
+		}
+	}
+	switch arrival {
+	case Local:
+		add(East)
+		add(West)
+		add(North)
+		add(South)
+	case West:
+		add(East)
+		add(North)
+		add(South)
+		add(Local)
+	case East:
+		add(West)
+		add(North)
+		add(South)
+		add(Local)
+	case North:
+		add(South)
+		add(Local)
+	case South:
+		add(North)
+		add(Local)
+	}
+	return mask
+}
+
+// eligible reports whether a flit may traverse the switch this cycle. A
+// lookahead flit (arrived with an empty queue ahead of it) traverses one
+// cycle after arrival — a single-stage router. A buffered flit waits out the
+// full pipeline (BW/SA-I, SA-O/VS, then ST), i.e. RouterStages cycles from
+// arrival to departure.
+func (r *Router) eligible(f *Flit) bool {
+	if f.bypassCandidate {
+		return r.now >= f.arrival+1
+	}
+	return r.now >= f.arrival+uint64(r.cfg.RouterStages)
+}
+
+// candidate is an SA-I winner: the one flit per input port that competes for
+// output ports this cycle.
+type candidate struct {
+	in     Port
+	vnet   VNet
+	vcIdx  int
+	vc     *vcState
+	flit   *Flit
+	wants  uint8 // output ports requested (after resource precheck)
+	isRVC  bool
+	isHead bool
+}
+
+// priorityClass orders candidates: reserved-VC flits beat lookaheads beat
+// buffered flits (Section 3.2: lookaheads are prioritized over buffered flits
+// except those in reserved VCs).
+func (c *candidate) priorityClass() int {
+	switch {
+	case c.isRVC:
+		return 0
+	case c.flit.bypassCandidate:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// allocate performs SA-I, SA-O, VC selection and switch traversal for one
+// cycle.
+func (r *Router) allocate() {
+	var cands [NumPorts]*candidate
+	for p := Port(0); p < NumPorts; p++ {
+		cands[p] = r.pickInputWinner(p)
+	}
+	// SA-O: one winner per output port; a multicast candidate may win
+	// several output ports in the same cycle (single-cycle forking).
+	var winners [NumPorts]*candidate
+	for o := Port(0); o < NumPorts; o++ {
+		if r.out[o] == nil {
+			continue
+		}
+		var best *candidate
+		bestRank := 1 << 30
+		n := int(NumPorts)
+		for k := 0; k < n; k++ {
+			p := Port((r.saPtr[o] + k) % n)
+			c := cands[p]
+			if c == nil || c.wants&portMask(o) == 0 {
+				continue
+			}
+			rank := c.priorityClass()*n + k
+			if rank < bestRank {
+				best = c
+				bestRank = rank
+			}
+		}
+		if best != nil {
+			winners[o] = best
+			r.saPtr[o] = (int(best.in) + 1) % n
+		}
+	}
+	// Switch traversal: claim resources and move flits, port by port.
+	granted := map[*candidate]uint8{}
+	for o := Port(0); o < NumPorts; o++ {
+		c := winners[o]
+		if c == nil {
+			continue
+		}
+		g, ok := r.claim(c, o)
+		if !ok {
+			r.Stats.AllocStalls++
+			continue
+		}
+		r.traverse(g)
+		granted[c] |= portMask(o)
+	}
+	// Dequeue flits whose pending output set is exhausted; count extra
+	// branches of multicast forks.
+	for c, mask := range granted {
+		if n := popcount8(mask); n > 1 {
+			r.Stats.Forks += uint64(n - 1)
+		}
+		c.flit.outPorts &^= mask
+		if c.flit.outPorts == 0 {
+			r.dequeue(c)
+		}
+	}
+	// A lookahead that failed to claim the switch falls back to the buffered
+	// pipeline (Section 3.2).
+	for _, c := range cands {
+		if c == nil {
+			continue
+		}
+		if c.flit.bypassCandidate && (granted[c] == 0 || c.flit.outPorts != 0) {
+			c.flit.bypassCandidate = false
+			r.Stats.AllocStalls++
+		}
+	}
+}
+
+// pickInputWinner performs SA-I for one input port: among VCs whose head flit
+// is eligible and has at least one serviceable output port, pick the highest
+// priority (reserved VC first, then lookaheads, then round-robin buffered).
+func (r *Router) pickInputWinner(p Port) *candidate {
+	iu := r.in[p]
+	if iu == nil {
+		return nil
+	}
+	total := r.cfg.TotalVCs(GOReq) + r.cfg.TotalVCs(UOResp)
+	split := r.cfg.TotalVCs(GOReq)
+	var best *candidate
+	bestRank := 1 << 30
+	for k := 0; k < total; k++ {
+		idx := (r.saiPtr[p] + k) % total
+		v, i := GOReq, idx
+		if idx >= split {
+			v, i = UOResp, idx-split
+		}
+		vc := iu.vcs[v][i]
+		if len(vc.q) == 0 {
+			continue
+		}
+		f := vc.q[0]
+		if !r.eligible(f) {
+			continue
+		}
+		wants := r.serviceablePorts(vc, f)
+		if wants == 0 {
+			r.Stats.AllocStalls++
+			continue
+		}
+		c := &candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: f, wants: wants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: f.IsHead()}
+		if rank := c.priorityClass()*total + k; rank < bestRank {
+			best = c
+			bestRank = rank
+		}
+	}
+	if best != nil && best.priorityClass() == 2 {
+		flat := best.vcIdx
+		if best.vnet == UOResp {
+			flat += split
+		}
+		r.saiPtr[p] = (flat + 1) % total
+	}
+	return best
+}
+
+// serviceablePorts filters a flit's pending output ports down to those whose
+// downstream resources (VC, credit, SID-tracker clearance) are available this
+// cycle.
+func (r *Router) serviceablePorts(vc *vcState, f *Flit) uint8 {
+	var wants uint8
+	if f.IsHead() {
+		wants = f.outPorts
+	} else {
+		wants = portMask(vc.outPort)
+	}
+	var ok uint8
+	for o := Port(0); o < NumPorts; o++ {
+		if wants&portMask(o) == 0 {
+			continue
+		}
+		ou := r.out[o]
+		if ou == nil {
+			continue
+		}
+		if f.IsHead() {
+			if _, can := ou.tr.AllocHeadVC(f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(ou, f)); can {
+				ok |= portMask(o)
+			}
+		} else if ou.tr.CanSendBody(f.Pkt.VNet, vc.outVC) {
+			ok |= portMask(o)
+		}
+	}
+	return ok
+}
+
+// rvcEligible reports whether a GO-REQ flit may use the reserved VC of the
+// downstream input port. The flit must be the exact (SID, sequence) request
+// some NIC in this branch's remaining delivery subtree is waiting for; any
+// looser rule would let a later same-SID request squat the reserved VC and
+// deadlock the expected one behind it.
+func (r *Router) rvcEligible(ou *outputUnit, f *Flit) bool {
+	if f.Pkt.VNet != GOReq || r.esid == nil {
+		return false
+	}
+	for _, node := range ou.coverage {
+		if sid, seq, ok := r.esid(node); ok && sid == f.Pkt.SID && seq == f.Pkt.SrcSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// claim re-checks and reserves downstream resources for one traversal.
+func (r *Router) claim(c *candidate, o Port) (grant, bool) {
+	ou := r.out[o]
+	f := c.flit
+	if c.isHead {
+		vcIdx, ok := ou.tr.AllocHeadVC(f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(ou, f))
+		if !ok {
+			return grant{}, false
+		}
+		ou.tr.ClaimHeadVC(f.Pkt.VNet, vcIdx, f.Pkt.SID)
+		return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, flit: f, out: o, dstVC: vcIdx, isHead: true}, true
+	}
+	if !ou.tr.CanSendBody(f.Pkt.VNet, c.vc.outVC) {
+		return grant{}, false
+	}
+	ou.tr.ChargeBody(f.Pkt.VNet, c.vc.outVC)
+	return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, flit: f, out: o, dstVC: c.vc.outVC, isHead: false}, true
+}
+
+// traverse sends one flit copy through the crossbar onto an output link.
+func (r *Router) traverse(g grant) {
+	out := g.flit.clone()
+	out.inVC = g.dstVC
+	out.outPorts = 0
+	r.out[g.out].link.Send(out)
+	g.flit.lastPort = g.out
+	g.flit.lastDstVC = g.dstVC
+	r.Stats.FlitsRouted++
+	r.Stats.BufferReads++
+	if g.flit.bypassCandidate {
+		r.Stats.Bypasses++
+	}
+}
+
+// dequeue removes a fully-serviced flit from its input VC, returns a credit
+// upstream, and maintains wormhole state for multi-flit packets.
+func (r *Router) dequeue(c *candidate) {
+	vc := c.vc
+	f := vc.q[0]
+	vc.q = vc.q[1:]
+	iu := r.in[c.in]
+	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: f.IsTail()})
+	if f.IsHead() && !f.IsTail() {
+		// Record the wormhole route for the packet's body flits. Multi-flit
+		// packets are unicast, so there is exactly one granted port: the one
+		// the head just traversed.
+		vc.active = true
+		vc.outPort = f.lastPort
+		vc.outVC = f.lastDstVC
+	}
+	if f.IsTail() {
+		vc.active = false
+	}
+}
+
+// ForEachBufferedFlit calls fn for every flit buffered in the router's input
+// VCs (diagnostics and tests).
+func (r *Router) ForEachBufferedFlit(fn func(p Port, v VNet, vc int, f *Flit)) {
+	for p := Port(0); p < NumPorts; p++ {
+		iu := r.in[p]
+		if iu == nil {
+			continue
+		}
+		for v := VNet(0); v < NumVNets; v++ {
+			for i, vcs := range iu.vcs[v] {
+				for _, f := range vcs.q {
+					fn(p, v, i, f)
+				}
+			}
+		}
+	}
+}
+
+// OutputState reports an output port's tracker for diagnostics; ok is false
+// for absent ports.
+func (r *Router) OutputState(p Port) (*OutputTracker, bool) {
+	if r.out[p] == nil {
+		return nil, false
+	}
+	return r.out[p].tr, true
+}
+
+// PendingPorts returns a flit's unserved output-port mask (diagnostics).
+func (f *Flit) PendingPorts() uint8 { return f.outPorts }
+
+// popcount8 counts the set bits of a port mask.
+func popcount8(m uint8) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

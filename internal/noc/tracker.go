@@ -1,0 +1,143 @@
+package noc
+
+// TotalVCs returns the number of virtual channels for a virtual network
+// including the reserved deadlock-avoidance VC of GO-REQ.
+func (c Config) TotalVCs(v VNet) int {
+	if v == GOReq {
+		return c.GOReqVCs + 1
+	}
+	return c.UORespVCs
+}
+
+// ReservedVC returns the reserved VC index for the virtual network, or -1 if
+// the class has none. For GO-REQ the reserved VC is the last index.
+func (c Config) ReservedVC(v VNet) int {
+	if v == GOReq {
+		return c.GOReqVCs
+	}
+	return -1
+}
+
+// OutputTracker is the upstream-side book-keeping for one downstream input
+// port: per-VC credit counts, VC allocation state, and the GO-REQ SID tracker
+// table that enforces point-to-point ordering of same-source requests
+// (Section 3.2 of the paper). Routers keep one per output port and the
+// network interface controller keeps one for its injection port.
+type OutputTracker struct {
+	cfg     Config
+	credits [NumVNets][]int
+	vcBusy  [NumVNets][]bool
+	sid     []int // per GO-REQ VC: SID in flight, or -1
+}
+
+// NewOutputTracker returns a tracker with all credits available, sized for
+// the downstream input port described by cfg.
+func NewOutputTracker(cfg Config) *OutputTracker {
+	t := &OutputTracker{cfg: cfg}
+	for v := VNet(0); v < NumVNets; v++ {
+		n := cfg.TotalVCs(v)
+		t.credits[v] = make([]int, n)
+		t.vcBusy[v] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			t.credits[v][i] = cfg.BufDepthFor(v)
+		}
+	}
+	t.sid = make([]int, cfg.TotalVCs(GOReq))
+	for i := range t.sid {
+		t.sid[i] = -1
+	}
+	return t
+}
+
+// ProcessCredit applies one returned credit.
+func (t *OutputTracker) ProcessCredit(c Credit) {
+	t.credits[c.VNet][c.VC]++
+	if t.credits[c.VNet][c.VC] > t.cfg.BufDepthFor(c.VNet) {
+		panic("noc: credit overflow — downstream returned more credits than buffer slots")
+	}
+	if c.FreeVC {
+		t.vcBusy[c.VNet][c.VC] = false
+		if c.VNet == GOReq {
+			t.sid[c.VC] = -1
+		}
+	}
+}
+
+// sidInFlight reports whether any GO-REQ VC of this port currently holds a
+// request with the given SID.
+func (t *OutputTracker) sidInFlight(sid int) bool {
+	for _, s := range t.sid {
+		if s == sid {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocHeadVC finds a free downstream VC with credit for a head flit.
+// For GO-REQ it enforces the SID tracker rule (a same-SID request must not
+// already be in flight to this input port) and admits the reserved VC only
+// when rvcEligible is true (the flit's SID equals the downstream NIC's
+// ESID). It returns the chosen VC without claiming it; call ClaimHeadVC on
+// the winning flit.
+func (t *OutputTracker) AllocHeadVC(v VNet, sid int, rvcEligible bool) (int, bool) {
+	if v == GOReq {
+		if t.sidInFlight(sid) {
+			return 0, false
+		}
+		for i := 0; i < t.cfg.GOReqVCs; i++ {
+			if !t.vcBusy[v][i] && t.credits[v][i] > 0 {
+				return i, true
+			}
+		}
+		if rvcEligible {
+			r := t.cfg.ReservedVC(v)
+			if !t.vcBusy[v][r] && t.credits[v][r] > 0 {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < t.cfg.UORespVCs; i++ {
+		if !t.vcBusy[v][i] && t.credits[v][i] > 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ClaimHeadVC marks the VC busy, charges one credit and records the SID in
+// the tracker table for GO-REQ.
+func (t *OutputTracker) ClaimHeadVC(v VNet, vc, sid int) {
+	t.vcBusy[v][vc] = true
+	t.credits[v][vc]--
+	if t.credits[v][vc] < 0 {
+		panic("noc: sent flit without credit")
+	}
+	if v == GOReq {
+		t.sid[vc] = sid
+	}
+}
+
+// CanSendBody reports whether a body/tail flit may be sent on an already
+// allocated VC.
+func (t *OutputTracker) CanSendBody(v VNet, vc int) bool {
+	return t.credits[v][vc] > 0
+}
+
+// ChargeBody consumes one credit for a body/tail flit.
+func (t *OutputTracker) ChargeBody(v VNet, vc int) {
+	t.credits[v][vc]--
+	if t.credits[v][vc] < 0 {
+		panic("noc: sent body flit without credit")
+	}
+}
+
+// Credits exposes the current credit count (for tests and stats).
+func (t *OutputTracker) Credits(v VNet, vc int) int { return t.credits[v][vc] }
+
+// Busy exposes the VC allocation state (for tests and stats).
+func (t *OutputTracker) Busy(v VNet, vc int) bool { return t.vcBusy[v][vc] }
+
+// TrackedSID exposes the SID tracker entry for a GO-REQ VC (for tests).
+func (t *OutputTracker) TrackedSID(vc int) int { return t.sid[vc] }

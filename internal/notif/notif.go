@@ -1,0 +1,234 @@
+// Package notif implements SCORPIO's notification network: an
+// ultra-lightweight bufferless mesh of bitwise-OR merge "routers" that
+// broadcasts, once per fixed time window, which sources injected coherence
+// requests that need to be globally ordered (Section 3.3 of the paper).
+//
+// A notification message is an N-field vector (one small counter per core,
+// encoded in BitsPerCore bits) plus a "stop" backpressure bit. Messages merge
+// by bitwise OR, so they can never contend and the network latency is bounded
+// by the mesh diameter. All nodes therefore hold an identical merged vector
+// at the end of every time window, which is what makes a consistent,
+// decentralised global order possible.
+package notif
+
+import "fmt"
+
+// Config describes a notification network.
+type Config struct {
+	// Width and Height of the mesh in nodes.
+	Width, Height int
+	// BitsPerCore is the width of each core's counter field (1 on the chip:
+	// one request per core per window; 2 bits allow three, per §5.2).
+	BitsPerCore int
+	// WindowCycles is the time-window length; 0 selects Width+Height+1
+	// (13 cycles for the 6×6 chip, Table 1), which covers the mesh diameter.
+	WindowCycles int
+}
+
+// Validate reports an error for unusable parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1 || c.Height < 1:
+		return fmt.Errorf("notif: mesh must be at least 1x1, got %dx%d", c.Width, c.Height)
+	case c.BitsPerCore < 1 || c.BitsPerCore > 8:
+		return fmt.Errorf("notif: bits per core must be in [1,8], got %d", c.BitsPerCore)
+	case c.WindowCycles != 0 && c.WindowCycles < c.Width+c.Height-1:
+		return fmt.Errorf("notif: window of %d cycles cannot cover the mesh diameter %d", c.WindowCycles, c.Width+c.Height-2)
+	}
+	return nil
+}
+
+// Window returns the effective time-window length in cycles.
+func (c Config) Window() int {
+	if c.WindowCycles != 0 {
+		return c.WindowCycles
+	}
+	return c.Width + c.Height + 1
+}
+
+// MaxPerWindow returns the largest request count one core can announce in a
+// single window.
+func (c Config) MaxPerWindow() int {
+	return (1 << c.BitsPerCore) - 1
+}
+
+// Nodes returns the number of nodes.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// Vector is a merged notification message: per-core request counts and the
+// stop backpressure bit.
+type Vector struct {
+	Counts []uint8
+	Stop   bool
+}
+
+// merge ORs other into v. Because only core i ever sets field i, OR equals
+// exact per-field union.
+func (v *Vector) merge(other Vector) {
+	for i, c := range other.Counts {
+		v.Counts[i] |= c
+	}
+	v.Stop = v.Stop || other.Stop
+}
+
+// Empty reports whether the vector announces no requests and no stop.
+func (v Vector) Empty() bool {
+	if v.Stop {
+		return false
+	}
+	for _, c := range v.Counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the number of requests announced across all cores.
+func (v Vector) Total() int {
+	n := 0
+	for _, c := range v.Counts {
+		n += int(c)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	c := Vector{Counts: make([]uint8, len(v.Counts)), Stop: v.Stop}
+	copy(c.Counts, v.Counts)
+	return c
+}
+
+// Source is a node-side provider of notification offers. The network samples
+// each node's committed offer at every window start; the node observes the
+// same window boundary and debits its pending count by the amount offered.
+type Source interface {
+	// NotificationOffer returns the request count (≤ MaxPerWindow) the node
+	// announces in the window that starts now, and whether the node asserts
+	// the stop bit.
+	NotificationOffer() (count int, stop bool)
+}
+
+// Network is the whole notification mesh, modelled as one kernel component:
+// per-node OR-latches, 1-hop-per-cycle propagation, and end-of-window
+// delivery.
+type Network struct {
+	cfg             Config
+	sources         []Source
+	cur             []Vector
+	next            []Vector
+	delivered       Vector
+	hasDelivery     bool
+	pendingDelivery Vector
+	pendingHas      bool
+	// Stats
+	WindowsDelivered uint64
+	StoppedWindows   uint64
+}
+
+// NewNetwork builds a notification network.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, sources: make([]Source, cfg.Nodes())}
+	n.cur = make([]Vector, cfg.Nodes())
+	n.next = make([]Vector, cfg.Nodes())
+	for i := range n.cur {
+		n.cur[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
+		n.next[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AttachSource registers the node's NIC as a notification source.
+func (n *Network) AttachSource(node int, s Source) { n.sources[node] = s }
+
+// WindowStart reports whether the given cycle begins a time window. Sources
+// use it to know when their committed offer is consumed.
+func (n *Network) WindowStart(cycle uint64) bool {
+	return cycle%uint64(n.cfg.Window()) == 0
+}
+
+// Delivered returns the merged vector of the window that ended last cycle.
+// ok is true only during the first cycle of the following window.
+func (n *Network) Delivered() (Vector, bool) {
+	return n.delivered, n.hasDelivery
+}
+
+// Evaluate advances the OR-mesh one cycle.
+func (n *Network) Evaluate(cycle uint64) {
+	w := uint64(n.cfg.Window())
+	pos := cycle % w
+	if pos == 0 {
+		// Window start: seed latches from the sources' committed offers.
+		for i := range n.next {
+			clearVector(&n.next[i])
+			if s := n.sources[i]; s != nil {
+				count, stop := s.NotificationOffer()
+				if count > n.cfg.MaxPerWindow() {
+					panic(fmt.Sprintf("notif: node %d offered %d notifications, max %d", i, count, n.cfg.MaxPerWindow()))
+				}
+				n.next[i].Counts[i] = uint8(count)
+				n.next[i].Stop = stop
+			}
+		}
+		return
+	}
+	// Propagate: each latch ORs its own value with its mesh neighbours'.
+	for i := range n.next {
+		n.next[i] = n.cur[i].Clone()
+		x, y := i%n.cfg.Width, i/n.cfg.Width
+		if x > 0 {
+			n.next[i].merge(n.cur[i-1])
+		}
+		if x < n.cfg.Width-1 {
+			n.next[i].merge(n.cur[i+1])
+		}
+		if y > 0 {
+			n.next[i].merge(n.cur[i-n.cfg.Width])
+		}
+		if y < n.cfg.Height-1 {
+			n.next[i].merge(n.cur[i+n.cfg.Width])
+		}
+	}
+	if pos == w-1 {
+		// Window end: node 0's latch equals every node's latch by now; it is
+		// the merged message handed to all NICs next cycle.
+		n.pendingDelivery = n.next[0].Clone()
+		n.pendingHas = !n.pendingDelivery.Empty()
+	}
+}
+
+// Commit latches the propagation step and publishes end-of-window delivery.
+func (n *Network) Commit(cycle uint64) {
+	n.cur, n.next = n.next, n.cur
+	w := uint64(n.cfg.Window())
+	if cycle%w == w-1 {
+		n.delivered = n.pendingDelivery
+		n.hasDelivery = n.pendingHas
+		if n.pendingHas {
+			n.WindowsDelivered++
+			if n.delivered.Stop {
+				n.StoppedWindows++
+			}
+		}
+		n.pendingHas = false
+	} else {
+		n.hasDelivery = false
+	}
+}
+
+// Latch exposes a node's current latch value (for tests).
+func (n *Network) Latch(node int) Vector { return n.cur[node].Clone() }
+
+func clearVector(v *Vector) {
+	for i := range v.Counts {
+		v.Counts[i] = 0
+	}
+	v.Stop = false
+}

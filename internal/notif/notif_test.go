@@ -1,0 +1,240 @@
+package notif
+
+import (
+	"testing"
+
+	"scorpio/internal/sim"
+)
+
+// fixedSource offers a scripted count per window.
+type fixedSource struct {
+	offers []int // per window
+	stops  []bool
+	window int
+	net    *Network
+}
+
+func (s *fixedSource) NotificationOffer() (int, bool) {
+	w := s.window
+	s.window++
+	count, stop := 0, false
+	if w < len(s.offers) {
+		count = s.offers[w]
+	}
+	if w < len(s.stops) {
+		stop = s.stops[w]
+	}
+	return count, stop
+}
+
+func runWindows(t *testing.T, cfg Config, sources map[int]*fixedSource, windows int) []Vector {
+	t.Helper()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, s := range sources {
+		s.net = net
+		net.AttachSource(node, s)
+	}
+	k := sim.NewKernel()
+	k.Register(net)
+	var delivered []Vector
+	for c := 0; c < windows*cfg.Window(); c++ {
+		k.Step()
+		if v, ok := net.Delivered(); ok {
+			delivered = append(delivered, v.Clone())
+			// Invariant: every node's latch is identical at window end.
+			ref := net.Latch(0)
+			for n := 1; n < cfg.Nodes(); n++ {
+				l := net.Latch(n)
+				for i := range ref.Counts {
+					if l.Counts[i] != ref.Counts[i] {
+						t.Fatalf("node %d latch differs from node 0 at field %d", n, i)
+					}
+				}
+				if l.Stop != ref.Stop {
+					t.Fatalf("node %d stop bit differs", n)
+				}
+			}
+		}
+	}
+	return delivered
+}
+
+func TestSingleNotificationDeliveredToAll(t *testing.T) {
+	cfg := Config{Width: 6, Height: 6, BitsPerCore: 1}
+	src := map[int]*fixedSource{14: {offers: []int{1}}}
+	got := runWindows(t, cfg, src, 2)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d windows, want 1", len(got))
+	}
+	for i, c := range got[0].Counts {
+		want := uint8(0)
+		if i == 14 {
+			want = 1
+		}
+		if c != want {
+			t.Fatalf("field %d = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestMergeOfConcurrentNotifications(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, BitsPerCore: 2}
+	src := map[int]*fixedSource{
+		0:  {offers: []int{3}},
+		6:  {offers: []int{1}},
+		15: {offers: []int{2}},
+	}
+	got := runWindows(t, cfg, src, 1)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d windows, want 1", len(got))
+	}
+	v := got[0]
+	if v.Counts[0] != 3 || v.Counts[6] != 1 || v.Counts[15] != 2 {
+		t.Fatalf("merged counts wrong: %v", v.Counts)
+	}
+	if v.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", v.Total())
+	}
+}
+
+func TestStopBitPropagates(t *testing.T) {
+	cfg := Config{Width: 6, Height: 6, BitsPerCore: 1}
+	src := map[int]*fixedSource{
+		35: {offers: []int{0}, stops: []bool{true}},
+		0:  {offers: []int{1}},
+	}
+	got := runWindows(t, cfg, src, 1)
+	if len(got) != 1 || !got[0].Stop {
+		t.Fatal("stop bit did not reach all nodes")
+	}
+	// The request count is still visible; consumers discard stopped windows.
+	if got[0].Counts[0] != 1 {
+		t.Fatal("counts lost when stop asserted")
+	}
+}
+
+func TestEmptyWindowDeliversNothing(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, BitsPerCore: 1}
+	got := runWindows(t, cfg, nil, 3)
+	if len(got) != 0 {
+		t.Fatalf("empty windows delivered %d vectors", len(got))
+	}
+}
+
+func TestSuccessiveWindowsIndependent(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, BitsPerCore: 1}
+	src := map[int]*fixedSource{
+		3: {offers: []int{1, 0, 1}},
+		9: {offers: []int{0, 1, 0}},
+	}
+	got := runWindows(t, cfg, src, 3)
+	if len(got) != 3 {
+		t.Fatalf("delivered %d windows, want 3", len(got))
+	}
+	if got[0].Counts[3] != 1 || got[0].Counts[9] != 0 {
+		t.Fatalf("window 0 wrong: %v", got[0].Counts)
+	}
+	if got[1].Counts[3] != 0 || got[1].Counts[9] != 1 {
+		t.Fatalf("window 1 wrong: %v", got[1].Counts)
+	}
+	if got[2].Counts[3] != 1 || got[2].Counts[9] != 0 {
+		t.Fatalf("window 2 leaked state: %v", got[2].Counts)
+	}
+}
+
+func TestRandomOffersPropertyAllNodesAgree(t *testing.T) {
+	rng := sim.NewRNG(2024)
+	for trial := 0; trial < 20; trial++ {
+		w := 2 + rng.Intn(7)
+		h := 2 + rng.Intn(7)
+		bits := 1 + rng.Intn(3)
+		cfg := Config{Width: w, Height: h, BitsPerCore: bits}
+		want := make([]int, cfg.Nodes())
+		src := map[int]*fixedSource{}
+		for n := 0; n < cfg.Nodes(); n++ {
+			if rng.Bernoulli(0.4) {
+				c := 1 + rng.Intn(cfg.MaxPerWindow())
+				want[n] = c
+				src[n] = &fixedSource{offers: []int{c}}
+			}
+		}
+		got := runWindows(t, cfg, src, 1)
+		any := false
+		for _, c := range want {
+			if c > 0 {
+				any = true
+			}
+		}
+		if !any {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: delivery without offers", trial)
+			}
+			continue
+		}
+		if len(got) != 1 {
+			t.Fatalf("trial %d: delivered %d windows, want 1", trial, len(got))
+		}
+		for n, c := range want {
+			if int(got[0].Counts[n]) != c {
+				t.Fatalf("trial %d (%dx%d): field %d = %d, want %d", trial, w, h, n, got[0].Counts[n], c)
+			}
+		}
+	}
+}
+
+func TestWindowDefaults(t *testing.T) {
+	cfg := Config{Width: 6, Height: 6, BitsPerCore: 1}
+	if got := cfg.Window(); got != 13 {
+		t.Fatalf("6x6 window = %d, want 13 (Table 1)", got)
+	}
+	cfg = Config{Width: 8, Height: 8, BitsPerCore: 1}
+	if got := cfg.Window(); got != 17 {
+		t.Fatalf("8x8 window = %d, want 17", got)
+	}
+	cfg = Config{Width: 10, Height: 10, BitsPerCore: 2}
+	if got := cfg.MaxPerWindow(); got != 3 {
+		t.Fatalf("2-bit max = %d, want 3", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 6, BitsPerCore: 1},
+		{Width: 6, Height: 6, BitsPerCore: 0},
+		{Width: 6, Height: 6, BitsPerCore: 9},
+		{Width: 6, Height: 6, BitsPerCore: 1, WindowCycles: 5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	good := Config{Width: 6, Height: 6, BitsPerCore: 1, WindowCycles: 13}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("chip config rejected: %v", err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := Vector{Counts: make([]uint8, 4)}
+	if !v.Empty() {
+		t.Fatal("zero vector must be empty")
+	}
+	v.Stop = true
+	if v.Empty() {
+		t.Fatal("stop bit makes a vector non-empty")
+	}
+	v.Stop = false
+	v.Counts[2] = 3
+	if v.Empty() || v.Total() != 3 {
+		t.Fatal("vector with counts must be non-empty")
+	}
+	c := v.Clone()
+	c.Counts[2] = 1
+	if v.Counts[2] != 3 {
+		t.Fatal("Clone must not alias")
+	}
+}

@@ -1,0 +1,103 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerSharesSumToOne(t *testing.T) {
+	sum := 0.0
+	for _, f := range TilePowerBreakdown() {
+		sum += f
+	}
+	if math.Abs(sum-1.0) > 0.01 {
+		t.Fatalf("power shares sum to %.3f, want 1.0", sum)
+	}
+	sum = 0.0
+	for _, f := range TileAreaBreakdown() {
+		sum += f
+	}
+	if math.Abs(sum-1.0) > 0.01 {
+		t.Fatalf("area shares sum to %.3f, want 1.0", sum)
+	}
+}
+
+func TestHeadlineSharesMatchPaper(t *testing.T) {
+	areaFrac, powerFrac := NetworkShareOfTile()
+	if math.Abs(areaFrac-0.10) > 0.01 {
+		t.Fatalf("network area share %.3f, paper says ~10%%", areaFrac)
+	}
+	if math.Abs(powerFrac-0.19) > 0.01 {
+		t.Fatalf("network power share %.3f, paper says ~19%%", powerFrac)
+	}
+	p := TilePowerBreakdown()
+	if got := p[Core] + p[L1DCache] + p[L1ICache]; math.Abs(got-0.62) > 0.01 {
+		t.Fatalf("core+L1 power share %.3f, paper says ~62%%", got)
+	}
+	if p[NotifRouter] >= 0.01 {
+		t.Fatalf("notification router power share %.4f, paper says <1%%", p[NotifRouter])
+	}
+	a := TileAreaBreakdown()
+	if got := a[L1DCache] + a[L1ICache] + a[L2Array]; math.Abs(got-0.46) > 0.015 {
+		t.Fatalf("cache area share %.3f, paper says ~46%%", got)
+	}
+}
+
+func TestTilePowerAtNominalMatchesTotal(t *testing.T) {
+	total := 0.0
+	for _, mw := range TilePowerMWAt(NominalActivity()) {
+		total += mw
+	}
+	if math.Abs(total-TilePowerMW)/TilePowerMW > 0.02 {
+		t.Fatalf("nominal tile power %.1f mW, want ~%.0f", total, TilePowerMW)
+	}
+}
+
+func TestActivityScalingIsBoundedByStaticFraction(t *testing.T) {
+	idle := TilePowerMWAt(Activity{})
+	nominal := TilePowerMWAt(NominalActivity())
+	for _, c := range Components() {
+		if idle[c] > nominal[c]+1e-9 {
+			t.Fatalf("%s: idle power %.2f exceeds nominal %.2f", c, idle[c], nominal[c])
+		}
+		if idle[c] < nominal[c]*staticFraction-1e-9 {
+			t.Fatalf("%s: idle power %.2f below static floor", c, idle[c])
+		}
+	}
+	// Doubling network load raises only the network's dynamic share.
+	hot := TilePowerMWAt(Activity{RouterFlitsPerCycle: 0.4, L2AccessesPerCycle: 0.1, CoreIPC: 0.8, NotifVectorsPerCycle: 1})
+	if hot[NICRouter] <= nominal[NICRouter] {
+		t.Fatal("network power must rise with flit activity")
+	}
+	if math.Abs(hot[Core]-nominal[Core]) > 1e-9 {
+		t.Fatal("core power must not depend on network activity")
+	}
+}
+
+func TestTileAreaDerivation(t *testing.T) {
+	if TileAreaMM2 < 3.0 || TileAreaMM2 > 4.0 {
+		t.Fatalf("tile area %.2f mm2 implausible for an 11x13 die with 36 tiles", TileAreaMM2)
+	}
+	total := 0.0
+	for _, a := range TileAreaMM2Breakdown() {
+		total += a
+	}
+	if math.Abs(total-TileAreaMM2) > 0.05 {
+		t.Fatalf("component areas sum to %.2f, want %.2f", total, TileAreaMM2)
+	}
+}
+
+func TestTablesPresent(t *testing.T) {
+	if len(Table1()) < 15 {
+		t.Fatal("Table 1 incomplete")
+	}
+	rows := Table2()
+	if len(rows) != 6 || rows[len(rows)-1].Name != "SCORPIO" {
+		t.Fatal("Table 2 must end with the SCORPIO column")
+	}
+	for _, c := range Components() {
+		if c.String() == "" {
+			t.Fatal("unnamed component")
+		}
+	}
+}

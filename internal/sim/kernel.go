@@ -1,0 +1,78 @@
+// Package sim provides the deterministic two-phase synchronous simulation
+// kernel that every SCORPIO component runs on.
+//
+// A cycle has two phases. In the evaluate phase each component reads the
+// registered (previous-cycle) outputs of its neighbours and computes its next
+// state; in the commit phase every component latches that state. Because no
+// component observes another component's *next* state during evaluation, the
+// simulation result is independent of the order in which components are
+// registered, which makes runs bit-for-bit reproducible.
+package sim
+
+// Component is a hardware block ticked once per cycle.
+//
+// Evaluate must only read other components' committed state and write the
+// component's own pending state; Commit latches pending state so the next
+// cycle can observe it.
+type Component interface {
+	// Evaluate computes the component's next state for the given cycle.
+	Evaluate(cycle uint64)
+	// Commit latches the state computed by Evaluate.
+	Commit(cycle uint64)
+}
+
+// Kernel drives a set of components with a shared synchronous clock.
+type Kernel struct {
+	components []Component
+	cycle      uint64
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Register adds a component to the kernel's tick list.
+func (k *Kernel) Register(c Component) {
+	k.components = append(k.components, c)
+}
+
+// Cycle reports the number of cycles fully executed so far.
+func (k *Kernel) Cycle() uint64 {
+	return k.cycle
+}
+
+// Step executes exactly one cycle: all Evaluates, then all Commits.
+func (k *Kernel) Step() {
+	for _, c := range k.components {
+		c.Evaluate(k.cycle)
+	}
+	for _, c := range k.components {
+		c.Commit(k.cycle)
+	}
+	k.cycle++
+}
+
+// Run executes n cycles.
+func (k *Kernel) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil steps the kernel until done reports true or the cycle limit is
+// reached, and reports whether done became true.
+func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
+	for k.cycle < limit {
+		if done() {
+			return true
+		}
+		k.Step()
+	}
+	return done()
+}
+
+// Components reports how many components are registered.
+func (k *Kernel) Components() int {
+	return len(k.components)
+}

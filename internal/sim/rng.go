@@ -1,0 +1,63 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64). Every stochastic element of the simulator draws from an RNG
+// seeded from the run configuration so that runs are reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniformly distributed in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean 1/p), at least 1. For p <= 0 it returns a large value;
+// for p >= 1 it returns 1.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 1 << 30
+	}
+	n := 1
+	for !r.Bernoulli(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Fork derives an independent generator from this one, so subsystems can own
+// private RNGs without correlating their streams.
+func (r *RNG) Fork() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xd1b54a32d192ed03}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars in plain text, one group per row
+// label and one bar per series — the experiment harness uses it to echo the
+// paper's figures next to the numeric tables.
+type BarChart struct {
+	Title  string
+	Series []string
+	// Rows maps a label to one value per series.
+	Rows []BarRow
+	// Width is the maximum bar length in characters (default 40).
+	Width int
+}
+
+// BarRow is one group of bars.
+type BarRow struct {
+	Label  string
+	Values []float64
+}
+
+// glyphs distinguishes series within a group.
+var glyphs = []byte{'#', '=', '*', '+', '~', 'o', 'x', '%'}
+
+// String renders the chart.
+func (c BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		for _, v := range r.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for i, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s", glyphs[i%len(glyphs)], s)
+		if i != len(c.Series)-1 {
+			sb.WriteString("  ")
+		}
+	}
+	if len(c.Series) > 0 {
+		sb.WriteByte('\n')
+	}
+	for _, r := range c.Rows {
+		for i, v := range r.Values {
+			label := ""
+			if i == 0 {
+				label = r.Label
+			}
+			n := int(v / max * float64(width))
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "%-*s |%s %.3f\n", labelW, label, strings.Repeat(string(glyphs[i%len(glyphs)]), n), v)
+		}
+	}
+	return sb.String()
+}

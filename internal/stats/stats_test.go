@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "x"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("value = %d, want 5", c.Value)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	m.Observe(10)
+	m.Observe(20)
+	if m.Value() != 15 {
+		t.Fatalf("mean = %v, want 15", m.Value())
+	}
+	var other Mean
+	other.Observe(30)
+	m.Merge(other)
+	if m.Value() != 20 || m.Count != 3 {
+		t.Fatalf("merged mean = %v (n=%d), want 20 (3)", m.Value(), m.Count)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []uint64{1, 11, 12, 49, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", h.Overflow)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Mean() < 200 || h.Mean() > 220 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if p := h.Percentile(50); p != 20 {
+		t.Fatalf("p50 = %d, want 20 (bucket upper edge)", p)
+	}
+	if p := h.Percentile(100); p != 1000 {
+		t.Fatalf("p100 = %d, want observed max", p)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	h := NewHistogram(5, 40)
+	if err := quick.Check(func(raw []uint16) bool {
+		for _, v := range raw {
+			h.Observe(uint64(v % 300))
+		}
+		return h.Percentile(50) <= h.Percentile(90) && h.Percentile(90) <= h.Percentile(100)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Observe(map[BreakdownComponent]uint64{NetBcastReq: 20, ReqOrdering: 10, SharerAccess: 10, NetResp: 15})
+	b.Observe(map[BreakdownComponent]uint64{NetBcastReq: 30, ReqOrdering: 20, SharerAccess: 10, NetResp: 25})
+	if b.Count() != 2 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	if got := b.Mean(NetBcastReq); got != 25 {
+		t.Fatalf("bcast mean = %v, want 25", got)
+	}
+	if got := b.Total(); got != 70 {
+		t.Fatalf("total = %v, want 70", got)
+	}
+	var other Breakdown
+	other.Observe(map[BreakdownComponent]uint64{DirAccess: 100})
+	b.Merge(&other)
+	if b.Count() != 3 {
+		t.Fatal("merge lost samples")
+	}
+	s := b.String()
+	if !strings.Contains(s, "Network: Bcast Req") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBreakdownComponentNames(t *testing.T) {
+	for c := BreakdownComponent(0); c < numBreakdownComponents; c++ {
+		if c.String() == "" {
+			t.Fatal("unnamed component")
+		}
+	}
+	if NetReqToDir.String() != "Network: Req to Dir" {
+		t.Fatal("label drifted from the paper's legend")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table("T", []string{"name", "v"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("title missing")
+	}
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned: %q", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("sorted keys = %v", got)
+	}
+}
+
+func TestBarChartRendering(t *testing.T) {
+	c := BarChart{
+		Title:  "demo",
+		Series: []string{"a", "b"},
+		Rows: []BarRow{
+			{Label: "one", Values: []float64{1.0, 0.5}},
+			{Label: "two", Values: []float64{2.0, 0.0}},
+		},
+		Width: 10,
+	}
+	out := c.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "one") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + legend + 4 bars
+		t.Fatalf("expected 6 lines, got %d: %q", len(lines), out)
+	}
+	// The 2.0 bar must be the longest (full width).
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", out)
+	}
+	// A zero value renders no bar but still a line.
+	if !strings.Contains(out, "| 0.000") {
+		t.Fatalf("zero bar missing: %q", out)
+	}
+}
+
+func TestBarChartEmptySafe(t *testing.T) {
+	if out := (BarChart{Title: "x"}).String(); !strings.Contains(out, "x") {
+		t.Fatalf("empty chart broken: %q", out)
+	}
+}

@@ -1,0 +1,194 @@
+package system
+
+import (
+	"fmt"
+
+	"scorpio/internal/baseline"
+	"scorpio/internal/coherence"
+	"scorpio/internal/mem"
+	"scorpio/internal/noc"
+	"scorpio/internal/sim"
+	"scorpio/internal/trace"
+)
+
+// OrderingScheme selects the Figure 7 baseline.
+type OrderingScheme int
+
+const (
+	// SchemeTokenB is TokenB: zero-cost protocol-level ordering.
+	SchemeTokenB OrderingScheme = iota
+	// SchemeINSO is In-Network Snoop Ordering with an expiration window.
+	SchemeINSO
+)
+
+// String names the scheme as the paper's Figure 7 does.
+func (s OrderingScheme) String() string {
+	if s == SchemeTokenB {
+		return "TokenB"
+	}
+	return "INSO"
+}
+
+// BaselineOptions configures a TokenB or INSO machine (Figure 7 runs these
+// at 16 cores with the same snoopy protocol and mesh as SCORPIO).
+type BaselineOptions struct {
+	Scheme OrderingScheme
+	// ExpiryWindow is INSO's expiration window in cycles (20/40/80).
+	ExpiryWindow   int
+	Net            noc.Config
+	L2             coherence.Config
+	Mem            mem.Config
+	Profile        trace.Profile
+	WorkPerCore    uint64
+	WarmupPerCore  uint64
+	MaxOutstanding int
+	Seed           uint64
+	MCNodes        []int
+}
+
+// DefaultBaselineOptions mirrors the paper's 16-core Figure 7 setup.
+func DefaultBaselineOptions(scheme OrderingScheme, prof trace.Profile) BaselineOptions {
+	net := noc.DefaultConfig()
+	net.Width, net.Height = 4, 4
+	l2 := coherence.DefaultConfig()
+	l2.DataFlits = net.DataPacketFlits()
+	return BaselineOptions{
+		Scheme:         scheme,
+		ExpiryWindow:   20,
+		Net:            net,
+		L2:             l2,
+		Mem:            mem.DefaultConfig(),
+		Profile:        prof,
+		WorkPerCore:    400,
+		WarmupPerCore:  300,
+		MaxOutstanding: 2,
+		Seed:           1,
+	}
+}
+
+// Baseline is an assembled TokenB or INSO machine.
+type Baseline struct {
+	opt       BaselineOptions
+	Kernel    *sim.Kernel
+	Mesh      *noc.Mesh
+	Endpoints []*baseline.Endpoint
+	L2s       []*coherence.L2Controller
+	INSO      *baseline.INSO // nil for TokenB
+	Injectors []*trace.Injector
+}
+
+// NewBaseline builds the machine.
+func NewBaseline(opt BaselineOptions) (*Baseline, error) {
+	if err := opt.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxOutstanding <= 0 {
+		opt.MaxOutstanding = 2
+	}
+	mesh, err := noc.NewMesh(opt.Net)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	b := &Baseline{opt: opt, Kernel: k, Mesh: mesh}
+	var orderer baseline.Orderer
+	switch opt.Scheme {
+	case SchemeTokenB:
+		tb := baseline.NewTokenB()
+		orderer = tb
+		k.Register(tb)
+	case SchemeINSO:
+		if opt.ExpiryWindow <= 0 {
+			return nil, fmt.Errorf("system: INSO needs a positive expiry window")
+		}
+		ins := baseline.NewINSO(opt.Net.Nodes(), opt.ExpiryWindow, opt.Net.Width+opt.Net.Height)
+		orderer = ins
+		b.INSO = ins
+		k.Register(ins)
+	}
+	mcNodes := opt.MCNodes
+	if mcNodes == nil {
+		mcNodes = DefaultMCNodes(opt.Net.Width, opt.Net.Height)
+	}
+	mm := memMap{nodes: mcNodes}
+	mcAt := map[int]bool{}
+	for _, n := range mcNodes {
+		mcAt[n] = true
+	}
+	for node := 0; node < opt.Net.Nodes(); node++ {
+		ep := baseline.NewEndpoint(node, mesh, orderer, nil)
+		if b.INSO != nil {
+			ep.SetExpirySource(b.INSO)
+		}
+		b.Endpoints = append(b.Endpoints, ep)
+		l2 := coherence.NewL2(node, opt.L2, ep, mesh.NextPacketID, mm)
+		b.L2s = append(b.L2s, l2)
+		agent := &tileAgent{l2: l2}
+		if mcAt[node] {
+			mc := mem.New(node, opt.Mem, ep, mesh.NextPacketID, mm)
+			agent.mc = mc
+			k.Register(mc)
+		}
+		ep.SetAgent(agent)
+		inj := trace.NewInjector(node, opt.Profile, opt.Seed, l2, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
+		b.Injectors = append(b.Injectors, inj)
+		l2.OnComplete = func(c coherence.Completion) {
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+		}
+		k.Register(inj)
+		k.Register(l2)
+		k.Register(ep)
+	}
+	mesh.Register(k)
+	return b, nil
+}
+
+// Done reports completion.
+func (b *Baseline) Done() bool {
+	for _, in := range b.Injectors {
+		if !in.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes to completion and collects results.
+func (b *Baseline) Run(limit uint64) (Results, error) {
+	if !b.Kernel.RunUntil(b.Done, limit) {
+		var done uint64
+		for _, in := range b.Injectors {
+			done += in.Completed
+		}
+		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
+			b.opt.Scheme, b.opt.Profile.Name, limit, done)
+	}
+	name := b.opt.Scheme.String()
+	if b.opt.Scheme == SchemeINSO {
+		name = fmt.Sprintf("INSO-%d", b.opt.ExpiryWindow)
+	}
+	r := Results{Protocol: name, Benchmark: b.opt.Profile.Name, Cycles: b.Kernel.Cycle()}
+	for _, in := range b.Injectors {
+		r.Completed += in.Completed
+		r.Service.Merge(in.ServiceLatency)
+		r.HitLat.Merge(in.HitLatency)
+		r.MissLat.Merge(in.MissLatency)
+		r.CacheServed.Merge(in.CacheServed)
+		r.MemServed.Merge(in.MemServed)
+		if in.DoneCycle > r.LastDone {
+			r.LastDone = in.DoneCycle
+		}
+	}
+	for _, l2 := range b.L2s {
+		r.L2Hits += l2.Stats.Hits
+		r.L2Misses += l2.Stats.Misses
+		r.Writebacks += l2.Stats.Writebacks
+	}
+	for _, ep := range b.Endpoints {
+		r.OrderingLat.Merge(ep.OrderingWait)
+	}
+	ns := b.Mesh.Stats()
+	r.FlitsRouted = ns.FlitsRouted
+	r.Bypasses = ns.Bypasses
+	return r, nil
+}

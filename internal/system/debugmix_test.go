@@ -1,0 +1,55 @@
+package system
+
+import (
+	"testing"
+
+	"scorpio/internal/coherence"
+	"scorpio/internal/trace"
+)
+
+// TestDebugMissMix categorises misses by address region to diagnose the
+// served-by-cache ratio. It logs only; thresholds live in the main tests.
+func TestDebugMissMix(t *testing.T) {
+	prof, _ := trace.ByName("fft")
+	opt := DefaultOptions(prof)
+	opt.Core = opt.Core.WithMeshSize(4, 4)
+	opt.WorkPerCore = 200
+	opt.WarmupPerCore = 300
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cat struct{ cache, mem, hit int }
+	cats := map[string]*cat{"shared": {}, "private": {}, "cold": {}}
+	region := func(addr uint64) string {
+		switch {
+		case addr >= 1<<40:
+			return "cold"
+		case addr >= 1<<34:
+			return "private"
+		default:
+			return "shared"
+		}
+	}
+	for i := range s.L2s {
+		inj := s.Injectors[i]
+		s.L2s[i].OnComplete = func(c coherence.Completion) {
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+			r := cats[region(c.Addr)]
+			switch {
+			case c.Hit:
+				r.hit++
+			case c.ServedByCache:
+				r.cache++
+			default:
+				r.mem++
+			}
+		}
+	}
+	if _, err := s.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range cats {
+		t.Logf("%-8s hits=%6d cache-served=%6d mem-served=%6d", name, c.hit, c.cache, c.mem)
+	}
+}

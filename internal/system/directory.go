@@ -1,0 +1,209 @@
+package system
+
+import (
+	"fmt"
+
+	"scorpio/internal/coherence"
+	"scorpio/internal/directory"
+	"scorpio/internal/nic"
+	"scorpio/internal/noc"
+	"scorpio/internal/sim"
+	"scorpio/internal/trace"
+)
+
+// DirectoryOptions configures an LPD-D or HT-D baseline machine.
+type DirectoryOptions struct {
+	Variant directory.Variant
+	// Net is the main-network configuration — the identical mesh SCORPIO
+	// uses, minus ordering (Section 5.1).
+	Net noc.Config
+	// L2 and Home parameterise the controllers; zero values select the
+	// chip-faithful defaults for the mesh size.
+	L2   directory.L2Config
+	Home directory.HomeConfig
+	// DirCacheBytes overrides the machine-wide directory cache budget when
+	// non-zero (the paper's comparisons equalise it across protocols).
+	DirCacheBytes int
+	// Workload parameters mirror Options.
+	Profile        trace.Profile
+	WorkPerCore    uint64
+	WarmupPerCore  uint64
+	MaxOutstanding int
+	Seed           uint64
+}
+
+// DefaultDirectoryOptions mirrors DefaultOptions for a directory baseline.
+func DefaultDirectoryOptions(v directory.Variant, prof trace.Profile) DirectoryOptions {
+	net := noc.DefaultConfig()
+	opt := DirectoryOptions{
+		Variant:        v,
+		Net:            net,
+		Profile:        prof,
+		WorkPerCore:    400,
+		WarmupPerCore:  300,
+		MaxOutstanding: 2,
+		Seed:           1,
+	}
+	opt.fillDefaults()
+	return opt
+}
+
+func (o *DirectoryOptions) fillDefaults() {
+	nodes := o.Net.Nodes()
+	if o.L2.Nodes == 0 {
+		o.L2 = directory.DefaultL2Config(nodes, o.Variant)
+		o.L2.DataFlits = o.Net.DataPacketFlits()
+	}
+	if o.Home.Nodes == 0 {
+		if o.Variant == directory.LPD {
+			o.Home = directory.LPDConfig(nodes)
+		} else {
+			o.Home = directory.HTConfig(nodes)
+		}
+		o.Home.DataFlits = o.Net.DataPacketFlits()
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 2
+	}
+	if o.DirCacheBytes != 0 {
+		o.Home.TotalDirCacheBytes = o.DirCacheBytes
+	}
+}
+
+// dirTileAgent routes packets to the node's cache controller and directory
+// slice.
+type dirTileAgent struct {
+	l2   *directory.L2
+	home *directory.Home
+}
+
+// AcceptOrderedRequest handles the request class: unicast requests to this
+// home and HT probe broadcasts.
+func (t *dirTileAgent) AcceptOrderedRequest(p *noc.Packet, arrive, cycle uint64) bool {
+	switch directory.Kind(p.Kind) {
+	case directory.ReqGetS, directory.ReqGetX, directory.ReqPutM:
+		return t.home.Request(p, arrive, cycle)
+	case directory.ProbeS, directory.ProbeX:
+		return t.l2.HandleProbe(p, cycle)
+	default:
+		panic(fmt.Sprintf("system: unexpected request-class kind %d", p.Kind))
+	}
+}
+
+// AcceptResponse handles the response class.
+func (t *dirTileAgent) AcceptResponse(p *noc.Packet, cycle uint64) bool {
+	switch directory.Kind(p.Kind) {
+	case directory.FwdGetS, directory.FwdGetX:
+		t.l2.HandleFwd(p, cycle)
+	case directory.Inv:
+		t.l2.HandleInv(p, cycle)
+	case directory.DataD, directory.InvAck, directory.WBAck:
+		t.l2.HandleResponse(p, cycle)
+	case directory.WBData:
+		t.home.WBDataArrived(p, cycle)
+	case directory.Done:
+		t.home.DoneArrived(p, cycle)
+	default:
+		panic(fmt.Sprintf("system: unexpected response-class kind %d", p.Kind))
+	}
+	return true
+}
+
+// Directory is a fully assembled LPD-D or HT-D machine.
+type Directory struct {
+	opt       DirectoryOptions
+	Kernel    *sim.Kernel
+	Mesh      *noc.Mesh
+	NICs      []*nic.NIC
+	L2s       []*directory.L2
+	Homes     []*directory.Home
+	Injectors []*trace.Injector
+}
+
+// NewDirectory builds the baseline machine.
+func NewDirectory(opt DirectoryOptions) (*Directory, error) {
+	if err := opt.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	opt.fillDefaults()
+	mesh, err := noc.NewMesh(opt.Net)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	d := &Directory{opt: opt, Kernel: k, Mesh: mesh}
+	nodes := opt.Net.Nodes()
+	for node := 0; node < nodes; node++ {
+		n := nic.New(node, nic.UnorderedConfig(), mesh, nil, nil)
+		d.NICs = append(d.NICs, n)
+		l2 := directory.NewL2(node, opt.L2, n, mesh.NextPacketID)
+		home := directory.NewHome(node, opt.Home, n, mesh.NextPacketID)
+		home.LocalProbe = l2.HandleProbe
+		n.SetAgent(&dirTileAgent{l2: l2, home: home})
+		d.L2s = append(d.L2s, l2)
+		d.Homes = append(d.Homes, home)
+		inj := trace.NewInjector(node, opt.Profile, opt.Seed, l2, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
+		d.Injectors = append(d.Injectors, inj)
+		l2.OnComplete = func(c coherence.Completion) {
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+		}
+		k.Register(inj)
+		k.Register(l2)
+		k.Register(home)
+		k.Register(n)
+	}
+	mesh.Register(k)
+	return d, nil
+}
+
+// Done reports whether every core finished.
+func (d *Directory) Done() bool {
+	for _, in := range d.Injectors {
+		if !in.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes to completion and collects results.
+func (d *Directory) Run(limit uint64) (Results, error) {
+	if !d.Kernel.RunUntil(d.Done, limit) {
+		var done uint64
+		for _, in := range d.Injectors {
+			done += in.Completed
+		}
+		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
+			d.opt.Variant, d.opt.Profile.Name, limit, done)
+	}
+	return d.collect(), nil
+}
+
+func (d *Directory) collect() Results {
+	r := Results{Protocol: d.opt.Variant.String(), Benchmark: d.opt.Profile.Name, Cycles: d.Kernel.Cycle()}
+	for _, in := range d.Injectors {
+		r.Completed += in.Completed
+		r.Service.Merge(in.ServiceLatency)
+		r.HitLat.Merge(in.HitLatency)
+		r.MissLat.Merge(in.MissLatency)
+		r.CacheServed.Merge(in.CacheServed)
+		r.MemServed.Merge(in.MemServed)
+		if in.DoneCycle > r.LastDone {
+			r.LastDone = in.DoneCycle
+		}
+	}
+	for _, l2 := range d.L2s {
+		r.L2Hits += l2.Stats.Hits
+		r.L2Misses += l2.Stats.Misses
+		r.Writebacks += l2.Stats.Writebacks
+	}
+	for _, h := range d.Homes {
+		r.DirTransactions += h.Stats.Transactions
+		r.DirCacheMisses += h.Stats.DirCacheMiss
+		r.DirCacheHits += h.Stats.DirCacheHits
+	}
+	ns := d.Mesh.Stats()
+	r.FlitsRouted = ns.FlitsRouted
+	r.Bypasses = ns.Bypasses
+	return r
+}

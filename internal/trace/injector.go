@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"scorpio/internal/sim"
+	"scorpio/internal/stats"
+)
+
+// RequestPort is the L2 controller interface the injector drives (the
+// chip's AHB port: at most two outstanding transactions).
+type RequestPort interface {
+	// CoreRequest offers one memory access; false means retry next cycle.
+	CoreRequest(addr uint64, write bool, cycle uint64) bool
+}
+
+// Injector replays a synthetic benchmark stream into one tile's L2.
+type Injector struct {
+	node           int
+	prof           Profile
+	rng            *sim.RNG
+	port           RequestPort
+	maxOutstanding int
+	limit          uint64 // measured accesses to complete (0 = unbounded)
+	warmup         uint64 // accesses completed before statistics engage
+
+	outstanding int
+	nextIssueAt uint64
+	pending     *access // generated but not yet accepted by the L2
+	burstLeft   int     // remaining accesses of the current burst
+	coldNext    uint64
+	history     []uint64 // recently touched lines (temporal locality)
+	histPos     int
+
+	// Issued/Completed count accesses; the run loop ends when every
+	// injector completes its limit.
+	Issued    uint64
+	Completed uint64
+	DoneCycle uint64
+
+	// Latency accounting.
+	ServiceLatency stats.Mean
+	HitLatency     stats.Mean
+	MissLatency    stats.Mean
+	CacheServed    *stats.Breakdown // misses served by other caches
+	MemServed      *stats.Breakdown // misses served by memory/directory
+}
+
+// access is one generated request.
+type access struct {
+	addr  uint64
+	write bool
+}
+
+// Address-space layout (line addresses): shared pool at base 1<<30, hot set
+// inside it, per-core private pools spaced apart, per-core cold streams far
+// above everything.
+const (
+	sharedBase  = uint64(1) << 30
+	privateBase = uint64(1) << 34
+	privateSpan = uint64(1) << 24
+	coldBase    = uint64(1) << 40
+	coldSpan    = uint64(1) << 24
+)
+
+// NewInjector builds an injector for a node. The first warmup completions
+// fill the caches without recording statistics (the paper's RTL runs omit
+// the first 20K cycles the same way); limit accesses are then measured.
+func NewInjector(node int, prof Profile, seed uint64, port RequestPort, maxOutstanding int, warmup, limit uint64) *Injector {
+	return &Injector{
+		node:           node,
+		prof:           prof,
+		rng:            sim.NewRNG(seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15),
+		port:           port,
+		maxOutstanding: maxOutstanding,
+		warmup:         warmup,
+		limit:          limit,
+		CacheServed:    &stats.Breakdown{},
+		MemServed:      &stats.Breakdown{},
+	}
+}
+
+// Done reports whether the injector completed its warmup and work quota.
+func (in *Injector) Done() bool {
+	return in.limit > 0 && in.Completed >= in.warmup+in.limit
+}
+
+// OnComplete is wired as the L2 completion callback.
+func (in *Injector) OnComplete(addr uint64, write bool, issue, done uint64, hit, servedByCache bool, breakdown map[stats.BreakdownComponent]uint64) {
+	in.outstanding--
+	in.Completed++
+	if in.Completed > in.warmup {
+		lat := float64(done - issue)
+		in.ServiceLatency.Observe(lat)
+		if hit {
+			in.HitLatency.Observe(lat)
+		} else {
+			in.MissLatency.Observe(lat)
+			if servedByCache {
+				in.CacheServed.Observe(breakdown)
+			} else {
+				in.MemServed.Observe(breakdown)
+			}
+		}
+	}
+	if in.Done() && in.DoneCycle == 0 {
+		in.DoneCycle = done
+	}
+}
+
+// Evaluate issues at most one access per cycle, respecting the outstanding
+// cap and the think-time distribution. Accesses arrive in bursts whose size
+// scales with the core's miss resources, so aggressive multi-outstanding
+// cores behave like Section 5.2's bursty cores (the Figure 8d study) while
+// the average access rate stays at the profile's intensity.
+func (in *Injector) Evaluate(cycle uint64) {
+	if in.limit > 0 && in.Issued >= in.warmup+in.limit {
+		return
+	}
+	if in.outstanding >= in.maxOutstanding {
+		return
+	}
+	if in.pending == nil {
+		if in.burstLeft == 0 {
+			if cycle < in.nextIssueAt {
+				return
+			}
+			meanBurst := float64(1+in.maxOutstanding) / 2
+			if !in.rng.Bernoulli(in.prof.IssueProb / meanBurst) {
+				return
+			}
+			in.burstLeft = 1 + in.rng.Intn(in.maxOutstanding)
+		}
+		a := in.generate()
+		in.pending = &a
+		in.burstLeft--
+	}
+	if in.port.CoreRequest(in.pending.addr, in.pending.write, cycle) {
+		in.pending = nil
+		in.outstanding++
+		in.Issued++
+		in.nextIssueAt = cycle + 1
+	}
+}
+
+// Commit implements sim.Component.
+func (in *Injector) Commit(cycle uint64) {}
+
+// generate draws the next access from the profile's address mixture. The
+// warmup phase is write-heavy: it models the producer/initialisation phase
+// of the benchmarks, which leaves shared data dirty-owned on chip (the
+// precondition for the paper's ~90% cache-to-cache service ratio).
+func (in *Injector) generate() access {
+	wf := in.prof.WriteFrac
+	if in.Issued < in.warmup && wf < 0.6 {
+		wf = 0.6
+	}
+	write := in.rng.Bernoulli(wf)
+	// Temporal locality: revisit a recently touched line.
+	if len(in.history) > 0 && in.rng.Bernoulli(in.prof.ReuseProb) {
+		return access{addr: in.history[in.rng.Intn(len(in.history))], write: write}
+	}
+	var addr uint64
+	r := in.rng.Float64()
+	switch {
+	case r < in.prof.ColdFrac:
+		addr = coldBase + uint64(in.node)*coldSpan + in.coldNext
+		in.coldNext++
+	case r < in.prof.ColdFrac+in.prof.SharedFrac:
+		if in.rng.Bernoulli(in.prof.HotFrac) {
+			addr = sharedBase + uint64(in.rng.Intn(in.prof.HotLines))
+		} else {
+			addr = sharedBase + uint64(in.prof.HotLines) + uint64(in.rng.Intn(in.prof.SharedLines))
+		}
+	default:
+		addr = privateBase + uint64(in.node)*privateSpan + uint64(in.rng.Intn(in.prof.PrivateLines))
+	}
+	in.remember(addr)
+	return access{addr: addr, write: write}
+}
+
+// remember records a fresh address in the reuse history ring.
+func (in *Injector) remember(addr uint64) {
+	const depth = 128
+	if len(in.history) < depth {
+		in.history = append(in.history, addr)
+		return
+	}
+	in.history[in.histPos] = addr
+	in.histPos = (in.histPos + 1) % depth
+}

@@ -1,0 +1,115 @@
+// Package trace is the workload substrate that stands in for the paper's
+// SPLASH-2 and PARSEC runs (see DESIGN.md, substitutions). Each benchmark is
+// modelled by a Profile — a small set of first-order statistics of its
+// L2-access stream (intensity, read/write mix, sharing behaviour, working
+// set sizes) — and an Injector that replays a synthetic stream with those
+// statistics into the L2 controller's core port, honouring the chip's
+// two-outstanding-misses constraint exactly like the paper's own
+// trace-driven RTL methodology.
+package trace
+
+import "fmt"
+
+// Profile captures the first-order statistics of one benchmark's post-L1
+// memory stream.
+type Profile struct {
+	// Name is the benchmark name as used in the paper's figures.
+	Name string
+	// Suite is "splash2" or "parsec".
+	Suite string
+	// IssueProb is the per-cycle probability of issuing the next L2 access
+	// when an issue slot is free; it sets the benchmark's memory intensity.
+	IssueProb float64
+	// WriteFrac is the store fraction of the stream.
+	WriteFrac float64
+	// SharedFrac is the fraction of accesses that touch globally shared
+	// data (the traffic that exercises coherence).
+	SharedFrac float64
+	// ColdFrac is the fraction of accesses to never-seen lines (compulsory
+	// misses served by memory).
+	ColdFrac float64
+	// SharedLines sizes the global shared pool in cache lines.
+	SharedLines int
+	// PrivateLines sizes each core's private pool in cache lines.
+	PrivateLines int
+	// HotFrac is the fraction of shared accesses that hit a small hot set
+	// (lock/reduction variables — the contended traffic).
+	HotFrac float64
+	// HotLines sizes that hot set.
+	HotLines int
+	// ReuseProb is the probability an access re-touches a recently used
+	// line (temporal locality); it sets the L2 hit rate.
+	ReuseProb float64
+}
+
+// Validate reports implausible parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("trace: profile needs a name")
+	case p.IssueProb <= 0 || p.IssueProb > 1:
+		return fmt.Errorf("trace: %s: issue probability %v out of (0,1]", p.Name, p.IssueProb)
+	case p.WriteFrac < 0 || p.WriteFrac > 1 || p.SharedFrac < 0 || p.SharedFrac > 1 || p.ColdFrac < 0 || p.ColdFrac > 1:
+		return fmt.Errorf("trace: %s: fractions must be in [0,1]", p.Name)
+	case p.SharedFrac+p.ColdFrac > 1:
+		return fmt.Errorf("trace: %s: shared+cold fractions exceed 1", p.Name)
+	case p.SharedLines <= 0 || p.PrivateLines <= 0 || p.HotLines <= 0:
+		return fmt.Errorf("trace: %s: pool sizes must be positive", p.Name)
+	case p.HotFrac < 0 || p.HotFrac > 1:
+		return fmt.Errorf("trace: %s: hot fraction out of range", p.Name)
+	case p.ReuseProb < 0 || p.ReuseProb >= 1:
+		return fmt.Errorf("trace: %s: reuse probability %v out of [0,1)", p.Name, p.ReuseProb)
+	}
+	return nil
+}
+
+// The profiles below were calibrated so the simulated relative behaviour
+// (miss intensity, sharing degree, fraction of misses served by other
+// caches) reproduces the shapes of the paper's Figures 6-8; absolute
+// instruction streams are not modelled (see DESIGN.md).
+var profiles = []Profile{
+	// SPLASH-2.
+	{Name: "barnes", Suite: "splash2", IssueProb: 0.048, WriteFrac: 0.30, SharedFrac: 0.55, ColdFrac: 0.02, SharedLines: 1024, PrivateLines: 768, HotFrac: 0.037, HotLines: 128, ReuseProb: 0.70},
+	{Name: "fft", Suite: "splash2", IssueProb: 0.080, WriteFrac: 0.35, SharedFrac: 0.45, ColdFrac: 0.05, SharedLines: 2048, PrivateLines: 1024, HotFrac: 0.015, HotLines: 64, ReuseProb: 0.60},
+	{Name: "fmm", Suite: "splash2", IssueProb: 0.040, WriteFrac: 0.25, SharedFrac: 0.50, ColdFrac: 0.02, SharedLines: 1024, PrivateLines: 768, HotFrac: 0.030, HotLines: 96, ReuseProb: 0.72},
+	{Name: "lu", Suite: "splash2", IssueProb: 0.064, WriteFrac: 0.40, SharedFrac: 0.60, ColdFrac: 0.03, SharedLines: 1536, PrivateLines: 512, HotFrac: 0.022, HotLines: 64, ReuseProb: 0.65},
+	{Name: "nlu", Suite: "splash2", IssueProb: 0.072, WriteFrac: 0.40, SharedFrac: 0.55, ColdFrac: 0.03, SharedLines: 1536, PrivateLines: 512, HotFrac: 0.030, HotLines: 64, ReuseProb: 0.62},
+	{Name: "radix", Suite: "splash2", IssueProb: 0.096, WriteFrac: 0.45, SharedFrac: 0.50, ColdFrac: 0.06, SharedLines: 3072, PrivateLines: 1024, HotFrac: 0.012, HotLines: 64, ReuseProb: 0.50},
+	{Name: "water-nsq", Suite: "splash2", IssueProb: 0.040, WriteFrac: 0.30, SharedFrac: 0.45, ColdFrac: 0.02, SharedLines: 768, PrivateLines: 512, HotFrac: 0.037, HotLines: 96, ReuseProb: 0.75},
+	{Name: "water-spatial", Suite: "splash2", IssueProb: 0.040, WriteFrac: 0.30, SharedFrac: 0.40, ColdFrac: 0.02, SharedLines: 768, PrivateLines: 512, HotFrac: 0.030, HotLines: 96, ReuseProb: 0.75},
+	// PARSEC.
+	{Name: "blackscholes", Suite: "parsec", IssueProb: 0.032, WriteFrac: 0.20, SharedFrac: 0.35, ColdFrac: 0.02, SharedLines: 1024, PrivateLines: 768, HotFrac: 0.022, HotLines: 64, ReuseProb: 0.80},
+	{Name: "canneal", Suite: "parsec", IssueProb: 0.088, WriteFrac: 0.35, SharedFrac: 0.65, ColdFrac: 0.08, SharedLines: 4096, PrivateLines: 1280, HotFrac: 0.015, HotLines: 128, ReuseProb: 0.45},
+	{Name: "fluidanimate", Suite: "parsec", IssueProb: 0.056, WriteFrac: 0.35, SharedFrac: 0.55, ColdFrac: 0.03, SharedLines: 1536, PrivateLines: 768, HotFrac: 0.030, HotLines: 128, ReuseProb: 0.65},
+	{Name: "swaptions", Suite: "parsec", IssueProb: 0.032, WriteFrac: 0.25, SharedFrac: 0.30, ColdFrac: 0.02, SharedLines: 512, PrivateLines: 512, HotFrac: 0.030, HotLines: 64, ReuseProb: 0.80},
+	{Name: "streamcluster", Suite: "parsec", IssueProb: 0.072, WriteFrac: 0.25, SharedFrac: 0.60, ColdFrac: 0.04, SharedLines: 2048, PrivateLines: 1024, HotFrac: 0.018, HotLines: 96, ReuseProb: 0.55},
+	{Name: "vips", Suite: "parsec", IssueProb: 0.048, WriteFrac: 0.30, SharedFrac: 0.40, ColdFrac: 0.03, SharedLines: 1536, PrivateLines: 768, HotFrac: 0.022, HotLines: 96, ReuseProb: 0.70},
+}
+
+// All returns every benchmark profile.
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Suite returns the profiles of one suite ("splash2" or "parsec").
+func Suite(name string) []Profile {
+	var out []Profile
+	for _, p := range profiles {
+		if p.Suite == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByName finds a profile by benchmark name.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}

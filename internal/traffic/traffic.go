@@ -1,0 +1,271 @@
+// Package traffic is the network-only evaluation harness: open-loop
+// synthetic traffic patterns driven straight into the main network, in the
+// style of the GARNET/DAC-prototype methodology the paper's NoC is built on.
+//
+// It measures average packet latency and accepted throughput versus offered
+// load, which is how Section 5.3's capacity argument is validated: "the
+// theoretical throughput of a k×k mesh is 1/k² for broadcasts, reducing from
+// 0.027 flits/node/cycle for 36 cores to 0.01 flits/node/cycle for
+// 100 cores".
+package traffic
+
+import (
+	"fmt"
+
+	"scorpio/internal/noc"
+	"scorpio/internal/sim"
+	"scorpio/internal/stats"
+)
+
+// Pattern selects the destination distribution.
+type Pattern int
+
+// Classic synthetic patterns.
+const (
+	// UniformRandom sends each packet to a uniformly random other node.
+	UniformRandom Pattern = iota
+	// BitComplement sends node (x,y) to (W-1-x, H-1-y).
+	BitComplement
+	// Transpose sends node (x,y) to (y,x).
+	Transpose
+	// Hotspot sends everything to node 0.
+	Hotspot
+	// Broadcast sends every packet to all nodes (the coherence-request
+	// pattern; saturation ≈ 1/k² flits/node/cycle).
+	Broadcast
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform-random"
+	case BitComplement:
+		return "bit-complement"
+	case Transpose:
+		return "transpose"
+	case Hotspot:
+		return "hotspot"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Config describes one open-loop run.
+type Config struct {
+	Net     noc.Config
+	Pattern Pattern
+	// InjectionRate is offered load in packets per node per cycle.
+	InjectionRate float64
+	// Flits is the packet length (1 = control, DataPacketFlits() = data).
+	Flits int
+	// Cycles is the measurement length; the first Cycles/5 are warmup.
+	Cycles uint64
+	Seed   uint64
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Pattern       Pattern
+	InjectionRate float64
+	// AcceptedRate is delivered packets per node per cycle (tail-received).
+	AcceptedRate float64
+	// AvgLatency is the mean inject→delivery latency in cycles.
+	AvgLatency float64
+	// P99Latency approximates the 99th percentile latency.
+	P99Latency uint64
+	Delivered  uint64
+	Offered    uint64
+}
+
+// node is the open-loop source/sink at one tile.
+type node struct {
+	id      int
+	cfg     Config
+	mesh    *noc.Mesh
+	tr      *noc.OutputTracker
+	rng     *sim.RNG
+	queue   []*noc.Packet
+	cur     *noc.Packet
+	seq     int
+	vc      int
+	warm    uint64
+	lat     *stats.Histogram
+	recv    uint64
+	offered uint64
+}
+
+func (n *node) ExpectedSID() (int, uint64, bool) { return 0, 0, false }
+
+// Evaluate generates, injects and sinks packets.
+func (n *node) Evaluate(cycle uint64) {
+	inj := n.mesh.InjectLink(n.id)
+	for _, c := range inj.Credits() {
+		n.tr.ProcessCredit(c)
+	}
+	// Sink.
+	ej := n.mesh.EjectLink(n.id)
+	if f := ej.Flit(); f != nil {
+		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail()})
+		if f.IsTail() && cycle >= n.warm {
+			n.recv++
+			n.lat.Observe(cycle - f.Pkt.InjectCycle)
+		}
+	}
+	// Open-loop generation (Bernoulli per cycle).
+	if n.rng.Bernoulli(n.cfg.InjectionRate) {
+		if dst, bcast, ok := n.destination(); ok {
+			vnet := noc.UOResp
+			if bcast {
+				vnet = noc.GOReq
+			}
+			p := &noc.Packet{
+				ID: n.mesh.NextPacketID(), VNet: vnet, Src: n.id, SID: n.id,
+				Dst: dst, Broadcast: bcast, Flits: n.cfg.Flits, InjectCycle: cycle,
+			}
+			if bcast {
+				p.Flits = 1
+			}
+			n.queue = append(n.queue, p)
+			if cycle >= n.warm {
+				n.offered++
+			}
+		}
+	}
+	// Injection, one flit per cycle.
+	if n.cur == nil && len(n.queue) > 0 {
+		p := n.queue[0]
+		if vc, ok := n.tr.AllocHeadVC(p.VNet, p.SID, false); ok {
+			n.tr.ClaimHeadVC(p.VNet, vc, p.SID)
+			n.vc = vc
+			n.cur = p
+			n.seq = 0
+			n.queue = n.queue[1:]
+		}
+	}
+	if n.cur != nil {
+		if n.seq == 0 || n.tr.CanSendBody(n.cur.VNet, n.vc) {
+			if n.seq > 0 {
+				n.tr.ChargeBody(n.cur.VNet, n.vc)
+			}
+			inj.Send(noc.NewFlit(n.cur, n.seq, n.vc))
+			n.seq++
+			if n.seq == n.cur.Flits {
+				n.cur = nil
+			}
+		}
+	}
+}
+
+func (n *node) Commit(cycle uint64) {}
+
+// destination picks the pattern's target; ok is false for self-targets
+// (skipped).
+func (n *node) destination() (int, bool, bool) {
+	cfg := n.cfg.Net
+	x, y := cfg.Coord(n.id)
+	switch n.cfg.Pattern {
+	case UniformRandom:
+		d := n.rng.Intn(cfg.Nodes())
+		if d == n.id {
+			return 0, false, false
+		}
+		return d, false, true
+	case BitComplement:
+		d := cfg.NodeAt(cfg.Width-1-x, cfg.Height-1-y)
+		if d == n.id {
+			return 0, false, false
+		}
+		return d, false, true
+	case Transpose:
+		if x == y || y >= cfg.Width || x >= cfg.Height {
+			return 0, false, false
+		}
+		return cfg.NodeAt(y, x), false, true
+	case Hotspot:
+		if n.id == 0 {
+			return 0, false, false
+		}
+		return 0, false, true
+	case Broadcast:
+		return 0, true, true
+	default:
+		panic("traffic: unknown pattern")
+	}
+}
+
+// Run executes one open-loop measurement.
+func Run(cfg Config) (Result, error) {
+	if cfg.Flits <= 0 {
+		cfg.Flits = 1
+	}
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 20000
+	}
+	mesh, err := noc.NewMesh(cfg.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	k := sim.NewKernel()
+	rng := sim.NewRNG(cfg.Seed + 1)
+	warm := cfg.Cycles / 5
+	nodes := make([]*node, cfg.Net.Nodes())
+	for i := range nodes {
+		nodes[i] = &node{
+			id: i, cfg: cfg, mesh: mesh,
+			tr:   noc.NewOutputTracker(cfg.Net),
+			rng:  rng.Fork(),
+			warm: warm,
+			lat:  stats.NewHistogram(4, 512),
+		}
+		mesh.AttachESID(i, nodes[i])
+		k.Register(nodes[i])
+	}
+	mesh.Register(k)
+	k.Run(cfg.Cycles)
+	res := Result{Pattern: cfg.Pattern, InjectionRate: cfg.InjectionRate}
+	var latSum float64
+	var latN uint64
+	var p99 uint64
+	for _, n := range nodes {
+		res.Delivered += n.recv
+		res.Offered += n.offered
+		latSum += n.lat.Mean() * float64(n.lat.Count())
+		latN += n.lat.Count()
+		if p := n.lat.Percentile(99); p > p99 {
+			p99 = p
+		}
+	}
+	measured := float64(cfg.Cycles - warm)
+	// Broadcasts deliver N-1 copies; count packet-equivalents per source.
+	div := 1.0
+	if cfg.Pattern == Broadcast {
+		div = float64(cfg.Net.Nodes() - 1)
+	}
+	res.AcceptedRate = float64(res.Delivered) / div / float64(cfg.Net.Nodes()) / measured
+	if latN > 0 {
+		res.AvgLatency = latSum / float64(latN)
+	}
+	res.P99Latency = p99
+	return res, nil
+}
+
+// SaturationThroughput sweeps the injection rate upward until accepted
+// throughput stops tracking offered load (within slack), returning the last
+// stable rate — the measured network capacity.
+func SaturationThroughput(net noc.Config, pattern Pattern, flits int, seed uint64) (float64, error) {
+	last := 0.0
+	for rate := 0.002; rate <= 1.0; rate *= 1.4 {
+		res, err := Run(Config{Net: net, Pattern: pattern, InjectionRate: rate, Flits: flits, Cycles: 12000, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		if float64(res.Delivered) < 0.9*float64(res.Offered) {
+			return last, nil
+		}
+		last = res.AcceptedRate
+	}
+	return last, nil
+}
