@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+# Tier-1: everything must compile and every test must pass.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel kernel's data-race guard: short-mode race run over the
+# packages that execute under the worker pool.
+race:
+	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc
+
+# The full local CI gate.
+check: vet test race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -19,9 +20,10 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated subset: table1,table2,service,fig6a,fig6a64,fig6b,fig6c,fig7,fig8a,fig8b,fig8c,fig8d,fig9,fig10")
-		quick = flag.Bool("quick", false, "reduced workloads (CI-sized)")
-		seed  = flag.Uint64("seed", 1, "workload seed")
+		only    = flag.String("only", "", "comma-separated subset: table1,table2,service,fig6a,fig6a64,fig6b,fig6c,fig7,fig8a,fig8b,fig8c,fig8d,fig9,fig10")
+		quick   = flag.Bool("quick", false, "reduced workloads (CI-sized)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -30,6 +32,12 @@ func main() {
 		scale = scorpio.QuickScale
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
+	effective := *workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("experiments: up to %d concurrent simulations per sweep\n\n", effective)
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"scorpio"
@@ -34,9 +35,14 @@ func main() {
 		outst    = flag.Int("outstanding", 2, "max outstanding misses per core")
 		nonPL    = flag.Bool("non-pipelined", false, "use the non-pipelined uncore (Figure 10's Non-PL)")
 		noBypass = flag.Bool("no-bypass", false, "disable lookahead bypassing")
+		workers  = flag.Int("workers", 1, "simulation kernel worker goroutines (0 = GOMAXPROCS; TokenB/INSO always serial)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(scorpio.Benchmarks(), "\n"))
@@ -57,6 +63,7 @@ func main() {
 		UORespVCs:      *uoVCs,
 		NotifBits:      *notif,
 		MaxOutstanding: *outst,
+		Workers:        *workers,
 	}
 	if *nonPL {
 		pl := false
@@ -73,6 +80,7 @@ func main() {
 	}
 	fmt.Printf("protocol           %s\n", res.Protocol)
 	fmt.Printf("benchmark          %s (%d cores)\n", res.Benchmark, *nodes)
+	fmt.Printf("kernel workers     %d\n", *workers)
 	fmt.Printf("runtime            %d cycles (%d to last completion)\n", res.Cycles, res.LastDone)
 	fmt.Printf("accesses           %d completed, %d measured\n", res.Completed, res.Service.Count)
 	fmt.Printf("L2 service latency %.1f cycles (hit %.1f, miss %.1f)\n", res.Service.Value(), res.HitLat.Value(), res.MissLat.Value())

@@ -2,8 +2,10 @@ package scorpio
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"scorpio/internal/power"
 	"scorpio/internal/stats"
@@ -19,6 +21,10 @@ type Scale struct {
 	Benchmarks []string // nil = each figure's own benchmark list
 	Seed       uint64
 	CycleLimit uint64
+	// Workers bounds how many simulation points a sweep runs concurrently;
+	// 0 means runtime.GOMAXPROCS(0). Each point is an independent seeded
+	// simulation, so concurrency never changes a figure's numbers.
+	Workers int
 }
 
 // FullScale is the EXPERIMENTS.md reproduction scale.
@@ -40,6 +46,49 @@ func (s Scale) config(p Protocol, bench string) Config {
 		WorkPerCore: s.Work, WarmupPerCore: s.Warmup,
 		Seed: s.Seed, CycleLimit: s.CycleLimit,
 	}
+}
+
+// runConfigs executes one simulation per config over a bounded pool of
+// goroutines and returns the results in input order. labels annotate
+// failures one-to-one with cfgs; when several points fail, the lowest-index
+// error is reported, so error selection is as deterministic as the results.
+func (s Scale) runConfigs(cfgs []Config, labels []string) ([]Result, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Run(cfgs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", labels[i], err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Figure holds one reproduced figure: row labels × named series.
@@ -151,42 +200,48 @@ func Figure6a(scale Scale, nodes int) (Figure, error) {
 		Series: []string{"LPD-D", "HT-D", "SCORPIO-D"},
 	}
 	protos := []Protocol{LPDD, HTD, SCORPIO}
-	for _, bench := range scale.pick(fig6Benchmarks) {
-		row := FigureRow{Label: bench}
-		var base float64
-		for i, p := range protos {
+	benches := scale.pick(fig6Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, bench := range benches {
+		var intensity float64
+		if nodes > 36 {
+			// The paper's benchmarks have fixed problem sizes, so
+			// per-core miss intensity falls as cores grow (strong
+			// scaling with sub-linear speedup). Equalise each
+			// benchmark's aggregate access demand at ~1 access/cycle
+			// machine-wide, the paper's sub-saturation regime (its
+			// 64-core runs still favour SCORPIO "despite the broadcast
+			// overhead"). Saturation at scale is Figure 10's subject.
+			prof, err := trace.ByName(bench)
+			if err != nil {
+				return Figure{}, err
+			}
+			// Normalise by the benchmark's coherence-miss-prone
+			// fraction too, so miss-heavy workloads (canneal) land in
+			// the same sub-saturation regime as compute-heavy ones.
+			intensity = 0.52 / ((prof.SharedFrac + prof.ColdFrac) * float64(nodes) * prof.IssueProb)
+			if intensity > 1 {
+				intensity = 1
+			}
+		}
+		for _, p := range protos {
 			cfg := scale.config(p, bench)
 			cfg.Width, cfg.Height = w, h
-			if nodes > 36 {
-				// The paper's benchmarks have fixed problem sizes, so
-				// per-core miss intensity falls as cores grow (strong
-				// scaling with sub-linear speedup). Equalise each
-				// benchmark's aggregate access demand at ~1 access/cycle
-				// machine-wide, the paper's sub-saturation regime (its
-				// 64-core runs still favour SCORPIO "despite the broadcast
-				// overhead"). Saturation at scale is Figure 10's subject.
-				prof, err := trace.ByName(bench)
-				if err != nil {
-					return Figure{}, err
-				}
-				// Normalise by the benchmark's coherence-miss-prone
-				// fraction too, so miss-heavy workloads (canneal) land in
-				// the same sub-saturation regime as compute-heavy ones.
-				s := 0.52 / ((prof.SharedFrac + prof.ColdFrac) * float64(nodes) * prof.IssueProb)
-				if s > 1 {
-					s = 1
-				}
-				cfg.IntensityScale = s
-			}
-			res, err := Run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s: %w", p, bench, err)
-			}
-			rt := res.Runtime()
-			if i == 0 {
-				base = rt
-			}
-			row.Values = append(row.Values, rt/base)
+			cfg.IntensityScale = intensity
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, fmt.Sprintf("%s/%s", p, bench))
+		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for bi, bench := range benches {
+		row := FigureRow{Label: bench}
+		base := results[bi*len(protos)].Runtime()
+		for i := range protos {
+			row.Values = append(row.Values, results[bi*len(protos)+i].Runtime()/base)
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -206,24 +261,29 @@ func breakdownFigure(scale Scale, id, title string, cacheServed bool) (Figure, e
 		fig.Series = append(fig.Series, c.String())
 	}
 	fig.Series = append(fig.Series, "Total")
+	var cfgs []Config
+	var labels []string
 	for _, bench := range scale.pick(breakdownBenchmarks) {
 		for _, p := range []Protocol{LPDD, HTD, SCORPIO} {
-			cfg := scale.config(p, bench)
-			res, err := Run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s: %w", p, bench, err)
-			}
-			bd := &res.CacheServed
-			if !cacheServed {
-				bd = &res.MemServed
-			}
-			row := FigureRow{Label: fmt.Sprintf("%s/%s", bench, p)}
-			for _, c := range comps {
-				row.Values = append(row.Values, bd.Mean(c))
-			}
-			row.Values = append(row.Values, bd.Total())
-			fig.Rows = append(fig.Rows, row)
+			cfgs = append(cfgs, scale.config(p, bench))
+			labels = append(labels, fmt.Sprintf("%s/%s", bench, p))
 		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, res := range results {
+		bd := &res.CacheServed
+		if !cacheServed {
+			bd = &res.MemServed
+		}
+		row := FigureRow{Label: labels[i]}
+		for _, c := range comps {
+			row.Values = append(row.Values, bd.Mean(c))
+		}
+		row.Values = append(row.Values, bd.Total())
+		fig.Rows = append(fig.Rows, row)
 	}
 	return fig, nil
 }
@@ -254,22 +314,27 @@ func Figure7(scale Scale) (Figure, error) {
 		window int
 	}
 	variants := []variant{{SCORPIO, 0}, {TokenB, 0}, {INSO, 20}, {INSO, 40}, {INSO, 80}}
-	for _, bench := range scale.pick(fig7Benchmarks) {
-		row := FigureRow{Label: bench}
-		var base float64
-		for i, v := range variants {
+	benches := scale.pick(fig7Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, bench := range benches {
+		for _, v := range variants {
 			cfg := scale.config(v.p, bench)
 			cfg.Width, cfg.Height = 4, 4
 			cfg.ExpiryWindow = v.window
-			res, err := Run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s: %w", v.p, bench, err)
-			}
-			rt := res.Runtime()
-			if i == 0 {
-				base = rt
-			}
-			row.Values = append(row.Values, rt/base)
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, fmt.Sprintf("%s/%s", v.p, bench))
+		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for bi, bench := range benches {
+		row := FigureRow{Label: bench}
+		base := results[bi*len(variants)].Runtime()
+		for i := range variants {
+			row.Values = append(row.Values, results[bi*len(variants)+i].Runtime()/base)
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -323,17 +388,27 @@ func Figure8d(scale Scale) (Figure, error) {
 		Title:  "Figure 8d: notification bits/core, 6 outstanding misses (runtime normalized to 1b; ordering latency in cycles)",
 		Series: []string{"BW=1b", "BW=2b", "BW=3b", "order@1b", "order@2b", "order@3b"},
 	}
-	for _, bench := range s.pick(fig8Benchmarks) {
-		var rts, ords [3]float64
+	benches := s.pick(fig8Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, bench := range benches {
 		for i := 0; i < 3; i++ {
 			cfg := s.config(SCORPIO, bench)
 			cfg.NotifBits = i + 1
 			cfg.MaxOutstanding = 6
 			cfg.IntensityScale = 0.08
-			res, err := Run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("fig8d[%db]/%s: %w", i+1, bench, err)
-			}
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, fmt.Sprintf("fig8d[%db]/%s", i+1, bench))
+		}
+	}
+	results, err := s.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for bi, bench := range benches {
+		var rts, ords [3]float64
+		for i := 0; i < 3; i++ {
+			res := results[bi*3+i]
 			rts[i] = res.Runtime()
 			ords[i] = res.OrderingLat.Value()
 		}
@@ -348,20 +423,26 @@ func Figure8d(scale Scale) (Figure, error) {
 // sweepFigure runs one SCORPIO design sweep, normalizing to baseIdx.
 func sweepFigure(scale Scale, id, title string, series []string, baseIdx int, mutate func(cfg *Config, i int)) (Figure, error) {
 	fig := Figure{ID: id, Title: title, Series: series}
-	for _, bench := range scale.pick(fig8Benchmarks) {
-		runtimes := make([]float64, len(series))
+	benches := scale.pick(fig8Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, bench := range benches {
 		for i := range series {
 			cfg := scale.config(SCORPIO, bench)
 			mutate(&cfg, i)
-			res, err := Run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s[%s]/%s: %w", id, series[i], bench, err)
-			}
-			runtimes[i] = res.Runtime()
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, fmt.Sprintf("%s[%s]/%s", id, series[i], bench))
 		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for bi, bench := range benches {
+		base := results[bi*len(series)+baseIdx].Runtime()
 		row := FigureRow{Label: bench}
-		for _, rt := range runtimes {
-			row.Values = append(row.Values, rt/runtimes[baseIdx])
+		for i := range series {
+			row.Values = append(row.Values, results[bi*len(series)+i].Runtime()/base)
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -402,8 +483,10 @@ func Figure10(scale Scale) (Figure, error) {
 		Series: []string{"6x6 Non-PL", "6x6 PL", "8x8 Non-PL", "8x8 PL", "10x10 Non-PL", "10x10 PL"},
 	}
 	meshes := []int{6, 8, 10}
-	for _, bench := range scale.pick(fig10Benchmarks) {
-		row := FigureRow{Label: bench}
+	benches := scale.pick(fig10Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, bench := range benches {
 		for _, k := range meshes {
 			for _, pl := range []bool{false, true} {
 				cfg := scale.config(SCORPIO, bench)
@@ -415,12 +498,20 @@ func Figure10(scale Scale) (Figure, error) {
 				cfg.WarmupPerCore = scale.Warmup * 36 / uint64(k*k)
 				p := pl
 				cfg.PipelinedL2 = &p
-				res, err := Run(cfg)
-				if err != nil {
-					return Figure{}, fmt.Errorf("fig10 %dx%d pl=%v %s: %w", k, k, pl, bench, err)
-				}
-				row.Values = append(row.Values, res.Service.Value())
+				cfgs = append(cfgs, cfg)
+				labels = append(labels, fmt.Sprintf("fig10 %dx%d pl=%v %s", k, k, pl, bench))
 			}
+		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	perBench := 2 * len(meshes)
+	for bi, bench := range benches {
+		row := FigureRow{Label: bench}
+		for i := 0; i < perBench; i++ {
+			row.Values = append(row.Values, results[bi*perBench+i].Service.Value())
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -507,13 +598,24 @@ func ServiceLatencySummary(scale Scale) (Figure, error) {
 		Title:  "Section 5.1 headline: average L2 service latency (cycles)",
 		Series: []string{"service", "cache-served miss", "mem-served miss", "cache-served %"},
 	}
-	for _, p := range []Protocol{LPDD, HTD, SCORPIO} {
+	protos := []Protocol{LPDD, HTD, SCORPIO}
+	benches := scale.pick(fig6Benchmarks)
+	var cfgs []Config
+	var labels []string
+	for _, p := range protos {
+		for _, bench := range benches {
+			cfgs = append(cfgs, scale.config(p, bench))
+			labels = append(labels, fmt.Sprintf("%s/%s", p, bench))
+		}
+	}
+	results, err := scale.runConfigs(cfgs, labels)
+	if err != nil {
+		return Figure{}, err
+	}
+	for pi, p := range protos {
 		var svc, cache, mem, frac stats.Mean
-		for _, bench := range scale.pick(fig6Benchmarks) {
-			res, err := Run(scale.config(p, bench))
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s: %w", p, bench, err)
-			}
+		for bi := range benches {
+			res := results[pi*len(benches)+bi]
 			svc.Observe(res.Service.Value())
 			cache.Observe(res.CacheServed.Total())
 			mem.Observe(res.MemServed.Total())

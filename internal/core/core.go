@@ -104,7 +104,10 @@ func NewOrderedNet(cfg Config, k *sim.Kernel) (*OrderedNet, error) {
 			n.AddMesh(extra)
 		}
 		on.nics = append(on.nics, n)
-		k.Register(n)
+		// The NIC shares a scheduling unit with the node's agents (L2,
+		// memory controller, injector): a delivery calls straight into
+		// them, so the kernel must never split the node across workers.
+		k.RegisterGroup(node, n)
 	}
 	for _, mesh := range meshes {
 		mesh.Register(k)

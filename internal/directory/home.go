@@ -253,10 +253,12 @@ func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
 			h.grant(p, q.arrive, cycle, cycle, 0)
 		}
 	default:
-		// LPD with precise sharers.
+		// LPD with precise sharers. Invalidations go out in ascending node
+		// order: iterating the sharer map directly would make injection
+		// order (and hence network timing) vary run to run.
 		invs := 0
-		for s := range l.sharers {
-			if s != p.Src && s != l.owner {
+		for s := 0; s < h.cfg.Nodes; s++ {
+			if l.sharers[s] && s != p.Src && s != l.owner {
 				h.invalidate(s, p, q.arrive, cycle)
 				invs++
 			}

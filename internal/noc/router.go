@@ -73,8 +73,11 @@ type Router struct {
 	out    [NumPorts]*outputUnit
 	saPtr  [NumPorts]int // SA-O round-robin pointer per output port
 	saiPtr [NumPorts]int // SA-I round-robin pointer per input port
-	Stats  RouterStats
-	now    uint64
+	// candBuf holds each input port's SA-I winner for the current cycle,
+	// reused across cycles to keep the allocation hot path allocation-free.
+	candBuf [NumPorts]candidate
+	Stats   RouterStats
+	now     uint64
 }
 
 // newRouter builds a router; links are attached by the mesh.
@@ -274,7 +277,9 @@ func (r *Router) allocate() {
 		}
 	}
 	// Switch traversal: claim resources and move flits, port by port.
-	granted := map[*candidate]uint8{}
+	// Grants are tracked per input port (each candidate belongs to exactly
+	// one), avoiding a per-cycle map and its unordered iteration.
+	var granted [NumPorts]uint8
 	for o := Port(0); o < NumPorts; o++ {
 		c := winners[o]
 		if c == nil {
@@ -286,26 +291,26 @@ func (r *Router) allocate() {
 			continue
 		}
 		r.traverse(g)
-		granted[c] |= portMask(o)
+		granted[c.in] |= portMask(o)
 	}
-	// Dequeue flits whose pending output set is exhausted; count extra
-	// branches of multicast forks.
-	for c, mask := range granted {
-		if n := popcount8(mask); n > 1 {
-			r.Stats.Forks += uint64(n - 1)
-		}
-		c.flit.outPorts &^= mask
-		if c.flit.outPorts == 0 {
-			r.dequeue(c)
-		}
-	}
-	// A lookahead that failed to claim the switch falls back to the buffered
-	// pipeline (Section 3.2).
-	for _, c := range cands {
+	// Dequeue flits whose pending output set is exhausted, count extra
+	// branches of multicast forks, and demote lookaheads that failed to
+	// claim the switch back to the buffered pipeline (Section 3.2).
+	for p := Port(0); p < NumPorts; p++ {
+		c := cands[p]
 		if c == nil {
 			continue
 		}
-		if c.flit.bypassCandidate && (granted[c] == 0 || c.flit.outPorts != 0) {
+		if mask := granted[p]; mask != 0 {
+			if n := popcount8(mask); n > 1 {
+				r.Stats.Forks += uint64(n - 1)
+			}
+			c.flit.outPorts &^= mask
+			if c.flit.outPorts == 0 {
+				r.dequeue(c)
+			}
+		}
+		if c.flit.bypassCandidate && (granted[p] == 0 || c.flit.outPorts != 0) {
 			c.flit.bypassCandidate = false
 			r.Stats.AllocStalls++
 		}
@@ -322,7 +327,8 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 	}
 	total := r.cfg.TotalVCs(GOReq) + r.cfg.TotalVCs(UOResp)
 	split := r.cfg.TotalVCs(GOReq)
-	var best *candidate
+	bestFlat := -1
+	var bestWants uint8
 	bestRank := 1 << 30
 	for k := 0; k < total; k++ {
 		idx := (r.saiPtr[p] + k) % total
@@ -343,20 +349,35 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 			r.Stats.AllocStalls++
 			continue
 		}
-		c := &candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: f, wants: wants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: f.IsHead()}
-		if rank := c.priorityClass()*total + k; rank < bestRank {
-			best = c
+		class := 2
+		switch {
+		case v == GOReq && i == r.cfg.ReservedVC(v):
+			class = 0
+		case f.bypassCandidate:
+			class = 1
+		}
+		if rank := class*total + k; rank < bestRank {
+			bestFlat = idx
+			bestWants = wants
 			bestRank = rank
 		}
 	}
-	if best != nil && best.priorityClass() == 2 {
-		flat := best.vcIdx
-		if best.vnet == UOResp {
-			flat += split
-		}
-		r.saiPtr[p] = (flat + 1) % total
+	if bestFlat < 0 {
+		return nil
 	}
-	return best
+	v, i := GOReq, bestFlat
+	if bestFlat >= split {
+		v, i = UOResp, bestFlat-split
+	}
+	vc := iu.vcs[v][i]
+	// The winner lives in the router's reusable per-port buffer: the hot
+	// path allocates nothing per cycle.
+	c := &r.candBuf[p]
+	*c = candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: vc.q[0], wants: bestWants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: vc.q[0].IsHead()}
+	if c.priorityClass() == 2 {
+		r.saiPtr[p] = (bestFlat + 1) % total
+	}
+	return c
 }
 
 // serviceablePorts filters a flit's pending output ports down to those whose

@@ -7,7 +7,17 @@
 // component observes another component's *next* state during evaluation, the
 // simulation result is independent of the order in which components are
 // registered, which makes runs bit-for-bit reproducible.
+//
+// The same property makes the kernel parallelizable: SetWorkers(n) shards the
+// component list over n persistent worker goroutines that run every Evaluate,
+// barrier, then run every Commit. Components that call each other directly
+// within a phase (a NIC delivering into its node's L2, say) must share a
+// scheduling unit — register them under one key with RegisterGroup so the
+// kernel never splits them across workers and their relative order inside the
+// unit matches their registration order.
 package sim
+
+import "sync"
 
 // Component is a hardware block ticked once per cycle.
 //
@@ -24,17 +34,61 @@ type Component interface {
 // Kernel drives a set of components with a shared synchronous clock.
 type Kernel struct {
 	components []Component
+	groupKeys  []int // per-component group key; negative = singleton unit
+	nextAuto   int
 	cycle      uint64
+
+	workers int
+	dirty   bool // shards stale: registration or worker count changed
+	pool    *workerPool
 }
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{nextAuto: -1}
 }
 
-// Register adds a component to the kernel's tick list.
+// Register adds a component to the kernel's tick list as its own scheduling
+// unit.
 func (k *Kernel) Register(c Component) {
 	k.components = append(k.components, c)
+	k.groupKeys = append(k.groupKeys, k.nextAuto)
+	k.nextAuto--
+	k.dirty = true
+}
+
+// RegisterGroup adds a component to the scheduling unit identified by key
+// (key >= 0). All components sharing a key execute on the same worker, in
+// registration order, so they may call each other directly during a phase.
+func (k *Kernel) RegisterGroup(key int, c Component) {
+	if key < 0 {
+		panic("sim: RegisterGroup key must be non-negative")
+	}
+	k.components = append(k.components, c)
+	k.groupKeys = append(k.groupKeys, key)
+	k.dirty = true
+}
+
+// SetWorkers selects the execution mode: n <= 1 runs every phase on the
+// calling goroutine (the default), n > 1 shards the scheduling units over n
+// persistent workers. Results are identical either way.
+func (k *Kernel) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == k.workers {
+		return
+	}
+	k.workers = n
+	k.dirty = true
+}
+
+// Workers reports the configured worker count (1 = serial).
+func (k *Kernel) Workers() int {
+	if k.workers < 1 {
+		return 1
+	}
+	return k.workers
 }
 
 // Cycle reports the number of cycles fully executed so far.
@@ -44,25 +98,33 @@ func (k *Kernel) Cycle() uint64 {
 
 // Step executes exactly one cycle: all Evaluates, then all Commits.
 func (k *Kernel) Step() {
-	for _, c := range k.components {
-		c.Evaluate(k.cycle)
-	}
-	for _, c := range k.components {
-		c.Commit(k.cycle)
+	if p := k.parallelPool(); p != nil {
+		p.phase(k.cycle, false)
+		p.phase(k.cycle, true)
+	} else {
+		for _, c := range k.components {
+			c.Evaluate(k.cycle)
+		}
+		for _, c := range k.components {
+			c.Commit(k.cycle)
+		}
 	}
 	k.cycle++
 }
 
-// Run executes n cycles.
+// Run executes n cycles. Worker goroutines (if any) are released on return.
 func (k *Kernel) Run(n uint64) {
+	defer k.StopWorkers()
 	for i := uint64(0); i < n; i++ {
 		k.Step()
 	}
 }
 
 // RunUntil steps the kernel until done reports true or the cycle limit is
-// reached, and reports whether done became true.
+// reached, and reports whether done became true. Worker goroutines (if any)
+// are released on return.
 func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
+	defer k.StopWorkers()
 	for k.cycle < limit {
 		if done() {
 			return true
@@ -72,7 +134,115 @@ func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
 	return done()
 }
 
+// StopWorkers releases the persistent worker goroutines; the next parallel
+// Step restarts them. Run and RunUntil call this on return, so only code that
+// drives Step directly needs it.
+func (k *Kernel) StopWorkers() {
+	if k.pool != nil {
+		k.pool.stop()
+		k.pool = nil
+	}
+}
+
 // Components reports how many components are registered.
 func (k *Kernel) Components() int {
 	return len(k.components)
+}
+
+// parallelPool returns the running worker pool, starting or rebuilding it as
+// needed, or nil when the kernel should step serially.
+func (k *Kernel) parallelPool() *workerPool {
+	if k.workers <= 1 || len(k.components) < 2*k.workers {
+		return nil
+	}
+	if k.dirty {
+		k.StopWorkers()
+		k.dirty = false
+	}
+	if k.pool == nil {
+		k.pool = startPool(k.buildShards())
+	}
+	return k.pool
+}
+
+// buildShards groups components into scheduling units (registration order
+// within a unit, first-appearance order across units) and deals the units
+// round-robin onto per-worker component lists.
+func (k *Kernel) buildShards() [][]Component {
+	unitOf := make(map[int]int)
+	var units [][]Component
+	for i, c := range k.components {
+		key := k.groupKeys[i]
+		if key < 0 {
+			units = append(units, []Component{c})
+			continue
+		}
+		if u, ok := unitOf[key]; ok {
+			units[u] = append(units[u], c)
+		} else {
+			unitOf[key] = len(units)
+			units = append(units, []Component{c})
+		}
+	}
+	shards := make([][]Component, k.workers)
+	for i, u := range units {
+		w := i % k.workers
+		shards[w] = append(shards[w], u...)
+	}
+	return shards
+}
+
+// workerPool is a set of persistent goroutines, one per shard, that execute
+// one phase (evaluate or commit) across every shard and then barrier.
+type workerPool struct {
+	cmds []chan poolCmd
+	wg   sync.WaitGroup
+}
+
+// poolCmd instructs a worker to run one phase of one cycle over its shard.
+type poolCmd struct {
+	cycle  uint64
+	commit bool
+}
+
+// startPool launches one goroutine per shard; each blocks on its command
+// channel between phases.
+func startPool(shards [][]Component) *workerPool {
+	p := &workerPool{cmds: make([]chan poolCmd, len(shards))}
+	for i, shard := range shards {
+		ch := make(chan poolCmd, 1)
+		p.cmds[i] = ch
+		go func(comps []Component) {
+			for cmd := range ch {
+				if cmd.commit {
+					for _, c := range comps {
+						c.Commit(cmd.cycle)
+					}
+				} else {
+					for _, c := range comps {
+						c.Evaluate(cmd.cycle)
+					}
+				}
+				p.wg.Done()
+			}
+		}(shard)
+	}
+	return p
+}
+
+// phase runs one phase across all shards and waits for every worker (the
+// barrier between evaluate and commit, and between cycles).
+func (p *workerPool) phase(cycle uint64, commit bool) {
+	p.wg.Add(len(p.cmds))
+	for _, ch := range p.cmds {
+		ch <- poolCmd{cycle: cycle, commit: commit}
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the worker goroutines.
+func (p *workerPool) stop() {
+	for _, ch := range p.cmds {
+		close(ch)
+	}
 }

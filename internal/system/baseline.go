@@ -77,7 +77,10 @@ type Baseline struct {
 	Injectors []*trace.Injector
 }
 
-// NewBaseline builds the machine.
+// NewBaseline builds the machine. Baseline machines always run on the serial
+// kernel: both orderers hand out global sequence numbers from a shared
+// counter during Endpoint.Commit, so their results depend on commit order and
+// cannot be sharded across workers without changing behaviour.
 func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 	if err := opt.Profile.Validate(); err != nil {
 		return nil, err

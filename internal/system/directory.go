@@ -30,6 +30,8 @@ type DirectoryOptions struct {
 	WarmupPerCore  uint64
 	MaxOutstanding int
 	Seed           uint64
+	// Workers mirrors Options.Workers (0 or 1 = serial kernel).
+	Workers int
 }
 
 // DefaultDirectoryOptions mirrors DefaultOptions for a directory baseline.
@@ -136,8 +138,8 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 	for node := 0; node < nodes; node++ {
 		n := nic.New(node, nic.UnorderedConfig(), mesh, nil, nil)
 		d.NICs = append(d.NICs, n)
-		l2 := directory.NewL2(node, opt.L2, n, mesh.NextPacketID)
-		home := directory.NewHome(node, opt.Home, n, mesh.NextPacketID)
+		l2 := directory.NewL2(node, opt.L2, n, packetIDStream(node))
+		home := directory.NewHome(node, opt.Home, n, packetIDStream(nodes+node))
 		home.LocalProbe = l2.HandleProbe
 		n.SetAgent(&dirTileAgent{l2: l2, home: home})
 		d.L2s = append(d.L2s, l2)
@@ -147,12 +149,15 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 		l2.OnComplete = func(c coherence.Completion) {
 			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
 		}
-		k.Register(inj)
-		k.Register(l2)
-		k.Register(home)
-		k.Register(n)
+		// One scheduling unit per node: the NIC's deliveries call straight
+		// into the L2 and home slice, and the injector into the L2.
+		k.RegisterGroup(node, inj)
+		k.RegisterGroup(node, l2)
+		k.RegisterGroup(node, home)
+		k.RegisterGroup(node, n)
 	}
 	mesh.Register(k)
+	k.SetWorkers(opt.Workers)
 	return d, nil
 }
 

@@ -45,6 +45,24 @@ type Options struct {
 	// matching the fabricated tile rather than the paper's trace-driven RTL
 	// methodology (which injected straight into the L2's AHB interface).
 	UseL1 bool
+	// Workers sets the kernel's parallel worker count; 0 or 1 runs the
+	// classic serial tick loop. Results are identical either way.
+	Workers int
+}
+
+// packetIDStream returns an allocator of packet IDs private to one issuing
+// stream. The stream index occupies the high bits so streams never collide,
+// which lets every L2 and memory controller draw IDs during its own Evaluate
+// without sharing a counter across kernel workers. IDs are only compared for
+// equality (the global-order checker), so the non-sequential values are
+// behaviourally neutral.
+func packetIDStream(stream int) func() uint64 {
+	base := uint64(stream+1) << 40
+	var seq uint64
+	return func() uint64 {
+		seq++
+		return base | seq
+	}
 }
 
 // DefaultOptions returns chip-faithful options for a benchmark.
@@ -144,7 +162,7 @@ func NewScorpio(opt Options) (*Scorpio, error) {
 		if opt.UseL1 {
 			tl = tile.New(node, tile.DefaultConfig(), l2)
 			s.Tiles = append(s.Tiles, tl)
-			s.Kernel.Register(tl)
+			s.Kernel.RegisterGroup(node, tl)
 			port = &tilePort{t: tl}
 		}
 		inj := trace.NewInjector(node, opt.Profile, opt.Seed, port, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
@@ -158,7 +176,7 @@ func NewScorpio(opt Options) (*Scorpio, error) {
 				inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
 			}
 		}
-		s.Kernel.Register(inj)
+		s.Kernel.RegisterGroup(node, inj)
 	}
 	return s, nil
 }
@@ -201,18 +219,19 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 	}
 	for node := 0; node < nodes; node++ {
 		n := net.NIC(node)
-		l2 := coherence.NewL2(node, opt.L2, n, net.NewPacketID, mm)
+		l2 := coherence.NewL2(node, opt.L2, n, packetIDStream(node), mm)
 		s.L2s = append(s.L2s, l2)
 		agent := &tileAgent{l2: l2}
 		if mcAt[node] {
-			mc := mem.New(node, opt.Mem, n, net.NewPacketID, mm)
+			mc := mem.New(node, opt.Mem, n, packetIDStream(nodes+node), mm)
 			agent.mc = mc
 			s.MCs = append(s.MCs, mc)
-			k.Register(mc)
+			k.RegisterGroup(node, mc)
 		}
 		net.AttachAgent(node, agent)
-		k.Register(l2)
+		k.RegisterGroup(node, l2)
 	}
+	k.SetWorkers(opt.Workers)
 	return s, nil
 }
 

@@ -107,6 +107,11 @@ type Config struct {
 	UseL1 bool
 	// CycleLimit aborts runaway runs (default 50M cycles).
 	CycleLimit uint64
+	// Workers sets the simulation kernel's worker count for SCORPIO and
+	// directory runs. 0 or 1 keeps the classic serial tick loop; N > 1
+	// shards the components over N goroutines with identical results.
+	// TokenB/INSO always run serially (their orderers are shared state).
+	Workers int
 }
 
 // Benchmarks returns every available benchmark name.
@@ -200,6 +205,7 @@ func runScorpio(cfg Config, prof trace.Profile) (Result, error) {
 	opt.WarmupPerCore = cfg.WarmupPerCore
 	opt.MaxOutstanding = cfg.MaxOutstanding
 	opt.Seed = cfg.Seed
+	opt.Workers = cfg.Workers
 	if cfg.ChannelBytes != 0 {
 		opt.Core.Net.ChannelBytes = cfg.ChannelBytes
 	}
@@ -254,6 +260,7 @@ func runDirectory(cfg Config, prof trace.Profile, v directory.Variant) (Result, 
 	opt.WarmupPerCore = cfg.WarmupPerCore
 	opt.MaxOutstanding = cfg.MaxOutstanding
 	opt.Seed = cfg.Seed
+	opt.Workers = cfg.Workers
 	if cfg.MaxOutstanding > 2 {
 		opt.L2 = directory.DefaultL2Config(opt.Net.Nodes(), v)
 		opt.L2.DataFlits = opt.Net.DataPacketFlits()
