@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+# Bump per PR that re-baselines the benchmark report.
+BENCH_JSON ?= BENCH_2.json
+
+.PHONY: build test vet race check bench benchsmoke
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -18,7 +21,21 @@ race:
 	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc
 
 # The full local CI gate.
-check: vet test race
+check: vet test race benchsmoke
 
+# The allocation-regression harness: the Fig6a end-to-end sweep, the
+# network-only router benchmark, and the raw kernel stepping benchmark, with
+# allocation counting, aggregated into a JSON baseline (see cmd/benchjson).
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim
+	( $(GO) test -bench 'BenchmarkFig6aNormalizedRuntime$$|BenchmarkRouterThroughput' \
+		-benchmem -count=3 -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkKernelThroughput' \
+		-benchmem -count=3 -run '^$$' ./internal/sim ) \
+	| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@cat $(BENCH_JSON)
+
+# One cheap iteration of the same benchmarks: the check gate proves they
+# still run without committing to a full measurement.
+benchsmoke:
+	$(GO) test -bench 'BenchmarkRouterThroughput' -benchmem -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkKernelThroughput' -benchmem -benchtime 1x -run '^$$' ./internal/sim

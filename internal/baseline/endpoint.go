@@ -28,6 +28,7 @@ import (
 
 	"scorpio/internal/nic"
 	"scorpio/internal/noc"
+	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
 
@@ -54,19 +55,21 @@ type Endpoint struct {
 	expiry interface{ TakeExpiryBroadcast(node int) bool }
 
 	tr       *noc.OutputTracker
-	reqQ     []*noc.Packet
-	respQ    []*noc.Packet
+	reqQ     ring.Ring[*noc.Packet]
+	respQ    ring.Ring[*noc.Packet]
 	staged   []*noc.Packet
 	stagedR  []*noc.Packet
 	inFlight *noc.Packet
 	nextSeq  int
 	curVC    int
 
-	reorder  map[uint64]reorderEntry // key -> packet awaiting delivery
+	reorder  reorderRing // order key -> packet awaiting delivery
 	nextKey  uint64
-	respVC   [][]*noc.Flit
 	respAsm  []respAsm
-	doneResp []*noc.Packet
+	doneResp ring.Ring[*noc.Packet]
+	// pool recycles the flits this endpoint injects and ejects; only this
+	// endpoint touches it (see noc.FlitPool).
+	pool noc.FlitPool
 
 	// Stats
 	Delivered    uint64
@@ -89,12 +92,78 @@ func NewEndpoint(node int, mesh *noc.Mesh, orderer Orderer, agent nic.Agent) *En
 	e := &Endpoint{
 		node: node, mesh: mesh, agent: agent, orderer: orderer,
 		tr:      noc.NewOutputTracker(cfg),
-		reorder: map[uint64]reorderEntry{},
-		respVC:  make([][]*noc.Flit, cfg.TotalVCs(noc.UOResp)),
+		reorder: newReorderRing(64),
+		reqQ:    ring.New[*noc.Packet](8),
+		respQ:   ring.New[*noc.Packet](8),
 		respAsm: make([]respAsm, cfg.TotalVCs(noc.UOResp)),
 	}
 	mesh.AttachESID(node, e)
 	return e
+}
+
+// reorderRing is the idealized (unbounded) reorder buffer, stored as a ring
+// indexed by the monotonic global order key instead of a map. Keys below the
+// delivery cursor can never be occupied again — an assigned INSO slot is
+// never expired and each key is delivered exactly once — so the occupied
+// window is [base, base+cap) and the ring grows by doubling when a key lands
+// beyond it. The key of a stored entry is recoverable as pkt.SrcSeq, which is
+// what grow uses to rehash.
+type reorderRing struct {
+	base  uint64 // delivery cursor: smallest key that may still be occupied
+	buf   []reorderEntry
+	occ   []bool
+	count int
+}
+
+func newReorderRing(capacity int) reorderRing {
+	return reorderRing{buf: make([]reorderEntry, capacity), occ: make([]bool, capacity)}
+}
+
+func (r *reorderRing) put(key uint64, e reorderEntry) {
+	if key < r.base {
+		panic(fmt.Sprintf("baseline: reorder key %d below delivery cursor %d", key, r.base))
+	}
+	for key-r.base >= uint64(len(r.buf)) {
+		r.grow()
+	}
+	i := key % uint64(len(r.buf))
+	if r.occ[i] {
+		panic(fmt.Sprintf("baseline: duplicate reorder key %d", key))
+	}
+	r.buf[i], r.occ[i] = e, true
+	r.count++
+}
+
+func (r *reorderRing) get(key uint64) (reorderEntry, bool) {
+	if key < r.base || key-r.base >= uint64(len(r.buf)) {
+		return reorderEntry{}, false
+	}
+	i := key % uint64(len(r.buf))
+	if !r.occ[i] {
+		return reorderEntry{}, false
+	}
+	return r.buf[i], true
+}
+
+func (r *reorderRing) del(key uint64) {
+	i := key % uint64(len(r.buf))
+	r.buf[i], r.occ[i] = reorderEntry{}, false
+	r.count--
+}
+
+// advance moves the delivery cursor forward; slots below it are free.
+func (r *reorderRing) advance(base uint64) { r.base = base }
+
+func (r *reorderRing) grow() {
+	buf := make([]reorderEntry, 2*len(r.buf))
+	occ := make([]bool, len(buf))
+	for i, e := range r.buf {
+		if r.occ[i] {
+			j := e.pkt.SrcSeq % uint64(len(buf))
+			buf[j], occ[j] = e, true
+		}
+	}
+	r.buf, r.occ = buf, occ
 }
 
 // SetAgent attaches the consumer.
@@ -130,6 +199,7 @@ func (e *Endpoint) SendResponse(p *noc.Packet) bool {
 func (e *Endpoint) Evaluate(cycle uint64) {
 	for _, c := range e.mesh.InjectLink(e.node).Credits() {
 		e.tr.ProcessCredit(c)
+		e.pool.Put(c.Carcass)
 	}
 	e.receive(cycle)
 	e.deliver(cycle)
@@ -141,18 +211,20 @@ func (e *Endpoint) Evaluate(cycle uint64) {
 func (e *Endpoint) Commit(cycle uint64) {
 	for _, p := range e.staged {
 		p.SrcSeq = e.orderer.AssignKey(e.node, cycle)
-		e.reqQ = append(e.reqQ, p)
+		e.reqQ.Push(p)
 		// Loop the packet back for local delivery at its order position.
-		e.reorder[p.SrcSeq] = reorderEntry{pkt: p, arrive: cycle}
+		e.reorder.put(p.SrcSeq, reorderEntry{pkt: p, arrive: cycle})
 	}
-	e.staged = nil
-	if len(e.stagedR) > 0 {
-		e.respQ = append(e.respQ, e.stagedR...)
-		e.stagedR = nil
+	e.staged = e.staged[:0]
+	for _, p := range e.stagedR {
+		e.respQ.Push(p)
 	}
+	e.stagedR = e.stagedR[:0]
 	// Owed INSO expiry broadcasts consume real request-class bandwidth.
+	// Expiry packets stay heap-allocated: a broadcast is one shared object
+	// delivered at every node, so no single endpoint may recycle it.
 	if e.expiry != nil && e.expiry.TakeExpiryBroadcast(e.node) {
-		e.reqQ = append(e.reqQ, &noc.Packet{
+		e.reqQ.Push(&noc.Packet{
 			ID: e.mesh.NextPacketID(), VNet: noc.GOReq, Src: e.node, SID: e.node,
 			Broadcast: true, Flits: 1, Kind: KindExpiry, SrcSeq: ^uint64(0), InjectCycle: cycle,
 		})
@@ -169,24 +241,26 @@ func (e *Endpoint) receive(cycle uint64) {
 	}
 	switch f.Pkt.VNet {
 	case noc.GOReq:
-		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true})
-		if f.Pkt.Kind == KindExpiry {
-			return // bandwidth spent; nothing to order
+		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true, Carcass: e.pool.TakeFree()})
+		if f.Pkt.Kind != KindExpiry {
+			e.reorder.put(f.Pkt.SrcSeq, reorderEntry{pkt: f.Pkt, arrive: cycle})
 		}
-		e.reorder[f.Pkt.SrcSeq] = reorderEntry{pkt: f.Pkt, arrive: cycle}
 	case noc.UOResp:
-		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail()})
+		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: e.pool.TakeFree()})
 		as := &e.respAsm[f.InVC()]
 		if as.pkt == nil {
 			as.pkt = f.Pkt
 		}
 		as.flits++
 		if f.IsTail() {
-			e.doneResp = append(e.doneResp, f.Pkt)
+			e.doneResp.Push(f.Pkt)
 			as.pkt = nil
 			as.flits = 0
 		}
 	}
+	// The packet (if any) is held by the reorder/assembly state; the flit
+	// itself is done.
+	e.pool.Put(f)
 }
 
 // deliver forwards the next in-order request (skipping expired keys) and
@@ -197,22 +271,24 @@ func (e *Endpoint) deliver(cycle uint64) {
 	}
 	// Skip any expired keys.
 	for e.orderer.Skippable(e.nextKey, cycle) {
-		if _, ok := e.reorder[e.nextKey]; ok {
+		if _, ok := e.reorder.get(e.nextKey); ok {
 			break // a real request occupies the key after all
 		}
 		e.nextKey++
+		e.reorder.advance(e.nextKey)
 	}
-	if entry, ok := e.reorder[e.nextKey]; ok {
+	if entry, ok := e.reorder.get(e.nextKey); ok {
 		if e.agent.AcceptOrderedRequest(entry.pkt, entry.arrive, cycle) {
-			delete(e.reorder, e.nextKey)
+			e.reorder.del(e.nextKey)
 			e.nextKey++
+			e.reorder.advance(e.nextKey)
 			e.Delivered++
 			e.OrderingWait.Observe(float64(cycle - entry.arrive))
 		}
 	}
-	if len(e.doneResp) > 0 {
-		if e.agent.AcceptResponse(e.doneResp[0], cycle) {
-			e.doneResp = e.doneResp[1:]
+	if !e.doneResp.Empty() {
+		if e.agent.AcceptResponse(e.doneResp.Front(), cycle) {
+			e.doneResp.PopFront()
 		}
 	}
 }
@@ -231,25 +307,25 @@ func (e *Endpoint) inject(cycle uint64) {
 		}
 		return
 	}
-	if len(e.reqQ) > 0 {
-		p := e.reqQ[0]
+	if !e.reqQ.Empty() {
+		p := e.reqQ.Front()
 		if vc, ok := e.tr.AllocHeadVC(noc.GOReq, p.SID, false); ok {
 			e.tr.ClaimHeadVC(noc.GOReq, vc, p.SID)
 			e.curVC = vc
 			p.NetworkEntry = cycle
 			e.send(p, 0)
-			e.reqQ = e.reqQ[1:]
+			e.reqQ.PopFront()
 		}
 		return
 	}
-	if len(e.respQ) > 0 {
-		p := e.respQ[0]
+	if !e.respQ.Empty() {
+		p := e.respQ.Front()
 		if vc, ok := e.tr.AllocHeadVC(noc.UOResp, p.SID, false); ok {
 			e.tr.ClaimHeadVC(noc.UOResp, vc, p.SID)
 			e.curVC = vc
 			p.NetworkEntry = cycle
 			e.send(p, 0)
-			e.respQ = e.respQ[1:]
+			e.respQ.PopFront()
 			if p.Flits > 1 {
 				e.inFlight = p
 				e.nextSeq = 1
@@ -259,5 +335,5 @@ func (e *Endpoint) inject(cycle uint64) {
 }
 
 func (e *Endpoint) send(p *noc.Packet, seq int) {
-	e.mesh.InjectLink(e.node).Send(noc.NewFlit(p, seq, e.curVC))
+	e.mesh.InjectLink(e.node).Send(e.pool.Get(p, seq, e.curVC))
 }

@@ -27,7 +27,9 @@ func NewRegionTracker(regionBytes, lineBytes, capacity int) *RegionTracker {
 	for (lineBytes << shift) < regionBytes {
 		shift++
 	}
-	return &RegionTracker{regionShift: shift, entries: make(map[uint64]int), capacity: capacity}
+	// One extra slot: the tracker holds capacity+1 live regions while it is
+	// deciding it saturated.
+	return &RegionTracker{regionShift: shift, entries: make(map[uint64]int, capacity+1), capacity: capacity}
 }
 
 func (r *RegionTracker) region(lineAddr uint64) uint64 { return lineAddr >> r.regionShift }

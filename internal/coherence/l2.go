@@ -73,7 +73,7 @@ type Completion struct {
 	Hit           bool
 	ServedByCache bool // for misses: cache-to-cache vs memory
 	SelfServed    bool // upgrade satisfied by the tile's own owned line
-	Breakdown     map[stats.BreakdownComponent]uint64
+	Breakdown     [stats.NumBreakdownComponents]uint64
 }
 
 // Stats counts protocol activity.
@@ -186,8 +186,10 @@ func NewL2(node int, cfg Config, n NetPort, newID func() uint64, mm MemMap) *L2C
 		nic:    n,
 		newID:  newID,
 		memMap: mm,
-		arr:    cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
-		values: map[uint64]uint64{},
+		arr: cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
+		// values converges to roughly the cache's line count (plus lines seen
+		// and evicted); pre-size it so warm-up growth is cheap.
+		values: make(map[uint64]uint64, cfg.CapacityBytes/cfg.LineBytes*2),
 		mshrs:  make([]mshr, cfg.MSHRs),
 	}
 	if cfg.UseRegionTracker {
@@ -458,7 +460,7 @@ func (l *L2Controller) Evaluate(cycle uint64) {
 func (l *L2Controller) Commit(cycle uint64) {
 	if len(l.stagedCore) > 0 {
 		l.coreQ = append(l.coreQ, l.stagedCore...)
-		l.stagedCore = nil
+		l.stagedCore = l.stagedCore[:0]
 	}
 }
 
@@ -561,7 +563,7 @@ func (l *L2Controller) report(m *mshr, cycle uint64) {
 	if l.OnComplete == nil {
 		return
 	}
-	bd := map[stats.BreakdownComponent]uint64{}
+	var bd [stats.NumBreakdownComponents]uint64
 	if m.selfServed {
 		bd[stats.ReqOrdering] = m.orderedCycle - m.pkt.InjectCycle
 	} else if m.resp.ServedByCache {

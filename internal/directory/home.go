@@ -2,6 +2,7 @@ package directory
 
 import (
 	"fmt"
+	"math/bits"
 
 	"scorpio/internal/cache"
 	"scorpio/internal/coherence"
@@ -74,23 +75,51 @@ type qreq struct {
 }
 
 // line is the backing directory state for one line (exact, DRAM-backed; the
-// finite directory cache only affects latency).
+// finite directory cache only affects latency). The sharer set is a uint64
+// bitmask — the largest directory configuration is 64 nodes (guarded in
+// NewHome) — which makes the GetX invalidation scan a deterministic
+// ascending-bit walk with no per-transaction map churn.
 type line struct {
 	owner      int
-	sharers    map[int]bool
+	sharers    uint64 // bit s set: node s holds the line
 	overflowed bool
 	memValid   bool
 	busy       bool
 	queue      []qreq
-	parked     []qreq          // waiting for writeback data
-	expectWB   uint64          // reqID of the writeback whose data is due (0 = none)
-	wbEarly    map[uint64]bool // WBData that arrived before its PutM was processed
+	parked     []qreq   // waiting for writeback data
+	expectWB   uint64   // reqID of the writeback whose data is due (0 = none)
+	wbEarly    []uint64 // reqIDs of WBData that arrived before their PutM was processed
 }
 
-// timer schedules deferred home work.
+// wbEarlyHas reports whether a writeback's data already arrived. The slice is
+// scanned linearly: at most a handful of writebacks overlap per line.
+func (l *line) wbEarlyHas(reqID uint64) bool {
+	for _, id := range l.wbEarly {
+		if id == reqID {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *line) wbEarlyAdd(reqID uint64) { l.wbEarly = append(l.wbEarly, reqID) }
+
+func (l *line) wbEarlyDel(reqID uint64) {
+	for i, id := range l.wbEarly {
+		if id == reqID {
+			l.wbEarly = append(l.wbEarly[:i], l.wbEarly[i+1:]...)
+			return
+		}
+	}
+}
+
+// timer schedules the one kind of deferred home work — processing a
+// dispatched transaction after its directory-access latency. A concrete
+// struct instead of a closure keeps the per-transaction timer off the heap.
 type timer struct {
-	at  uint64
-	run func(cycle uint64)
+	at uint64
+	l  *line
+	q  qreq
 }
 
 // pendingSend is a scheduled injection.
@@ -112,12 +141,19 @@ type Home struct {
 	// does not loop back in unordered mode). It must return true.
 	LocalProbe func(p *noc.Packet, cycle uint64) bool
 	timers     []timer
-	sendQ      []pendingSend
-	Stats      HomeStats
+	// timerScratch is the spare backing array Evaluate swaps in while firing
+	// due timers (which may append new ones), so the per-cycle detach does
+	// not reallocate.
+	timerScratch []timer
+	sendQ        []pendingSend
+	Stats        HomeStats
 }
 
 // NewHome builds a directory slice.
 func NewHome(node int, cfg HomeConfig, n coherence.NetPort, newID func() uint64) *Home {
+	if cfg.Nodes > 64 {
+		panic(fmt.Sprintf("directory: %d nodes exceed the 64-node sharer bitmask", cfg.Nodes))
+	}
 	perNode := cfg.TotalDirCacheBytes / cfg.Nodes
 	entries := perNode / cfg.EntryBytes
 	if entries < 4 {
@@ -137,7 +173,7 @@ func HomeFor(addr uint64, nodes int) int { return int(addr % uint64(nodes)) }
 func (h *Home) line(addr uint64) *line {
 	l, ok := h.lines[addr]
 	if !ok {
-		l = &line{owner: -1, memValid: true, sharers: map[int]bool{}, wbEarly: map[uint64]bool{}}
+		l = &line{owner: -1, memValid: true}
 		h.lines[addr] = l
 	}
 	return l
@@ -181,12 +217,7 @@ func (h *Home) dispatch(l *line, q qreq, cycle uint64) {
 	h.Stats.QueueWait.Observe(float64(cycle - q.arrive))
 	lat := h.dirLatency(q.pkt.Addr, q.seen)
 	l.busy = true
-	h.after(cycle+lat, func(now uint64) { h.process(l, q, now) })
-}
-
-// after schedules deferred work.
-func (h *Home) after(at uint64, run func(uint64)) {
-	h.timers = append(h.timers, timer{at: at, run: run})
+	h.timers = append(h.timers, timer{at: cycle + lat, l: l, q: q})
 }
 
 // process applies the protocol action for one transaction.
@@ -215,7 +246,7 @@ func (h *Home) processGetS(l *line, q qreq, cycle uint64) {
 		} else {
 			h.probe(ProbeS, p, q.arrive, cycle)
 		}
-		l.sharers[p.Src] = true
+		l.sharers |= 1 << uint(p.Src)
 		h.checkOverflow(l)
 		return
 	}
@@ -225,7 +256,7 @@ func (h *Home) processGetS(l *line, q qreq, cycle uint64) {
 		return
 	}
 	// Memory supplies the data.
-	l.sharers[p.Src] = true
+	l.sharers |= 1 << uint(p.Src)
 	h.checkOverflow(l)
 	h.serveFromMemory(l, q, cycle, 0)
 }
@@ -254,14 +285,16 @@ func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
 		}
 	default:
 		// LPD with precise sharers. Invalidations go out in ascending node
-		// order: iterating the sharer map directly would make injection
-		// order (and hence network timing) vary run to run.
+		// order — bitmask iteration is inherently deterministic, unlike the
+		// sorted map scan it replaced.
 		invs := 0
-		for s := 0; s < h.cfg.Nodes; s++ {
-			if l.sharers[s] && s != p.Src && s != l.owner {
-				h.invalidate(s, p, q.arrive, cycle)
-				invs++
-			}
+		skip := uint64(1) << uint(p.Src)
+		if l.owner >= 0 {
+			skip |= 1 << uint(l.owner)
+		}
+		for rem := l.sharers &^ skip; rem != 0; rem &= rem - 1 {
+			h.invalidate(bits.TrailingZeros64(rem), p, q.arrive, cycle)
+			invs++
 		}
 		switch {
 		case l.owner >= 0 && l.owner != p.Src:
@@ -274,7 +307,7 @@ func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
 		}
 	}
 	l.owner = p.Src
-	l.sharers = map[int]bool{p.Src: true}
+	l.sharers = 1 << uint(p.Src)
 	l.overflowed = false
 }
 
@@ -283,14 +316,14 @@ func (h *Home) processPutM(l *line, q qreq, cycle uint64) {
 	if l.owner != p.Src {
 		// Stale: ownership moved before the PutM was processed.
 		h.Stats.StalePutM++
-		delete(l.wbEarly, p.ReqID)
+		l.wbEarlyDel(p.ReqID)
 		h.ack(WBAck, p.Src, p, cycle)
 		return
 	}
 	l.owner = -1
 	h.Stats.Writebacks++
-	if l.wbEarly[p.ReqID] {
-		delete(l.wbEarly, p.ReqID)
+	if l.wbEarlyHas(p.ReqID) {
+		l.wbEarlyDel(p.ReqID)
 		l.memValid = true
 		h.ack(WBAck, p.Src, p, cycle+uint64(h.cfg.DRAMLatency))
 		h.drainParked(l, cycle+uint64(h.cfg.DRAMLatency))
@@ -311,7 +344,7 @@ func (h *Home) WBDataArrived(p *noc.Packet, cycle uint64) {
 		return
 	}
 	// The PutM has not been processed yet (or was stale): remember the data.
-	l.wbEarly[p.ReqID] = true
+	l.wbEarlyAdd(p.ReqID)
 }
 
 // DoneArrived unblocks a line and dispatches the next queued transaction.
@@ -430,7 +463,7 @@ func (h *Home) ack(kind Kind, dst int, p *noc.Packet, at uint64) {
 
 // checkOverflow latches LPD pointer overflow.
 func (h *Home) checkOverflow(l *line) {
-	if h.cfg.Variant == LPD && len(l.sharers) > h.cfg.Pointers {
+	if h.cfg.Variant == LPD && bits.OnesCount64(l.sharers) > h.cfg.Pointers {
 		l.overflowed = true
 	}
 }
@@ -447,16 +480,19 @@ func (h *Home) queueSend(at uint64, p *noc.Packet, isReq bool, resp *RespInfo) {
 // Evaluate fires due timers and drains the send queue.
 func (h *Home) Evaluate(cycle uint64) {
 	if len(h.timers) > 0 {
-		// Detach first: timer callbacks may schedule new timers.
+		// Detach first: firing a timer (process → unblock → dispatch) may
+		// schedule new timers. The spare scratch array is swapped in so the
+		// detach reuses last cycle's backing storage instead of reallocating.
 		due := h.timers
-		h.timers = nil
+		h.timers = h.timerScratch[:0]
 		for _, t := range due {
 			if t.at <= cycle {
-				t.run(cycle)
+				h.process(t.l, t.q, cycle)
 			} else {
 				h.timers = append(h.timers, t)
 			}
 		}
+		h.timerScratch = due[:0]
 	}
 	if len(h.sendQ) > 0 {
 		rest := h.sendQ[:0]

@@ -412,7 +412,7 @@ func (l *L2) report(m *dmshr, cycle uint64) {
 	if l.OnComplete == nil {
 		return
 	}
-	bd := map[stats.BreakdownComponent]uint64{}
+	var bd [stats.NumBreakdownComponents]uint64
 	inj := m.pkt.InjectCycle
 	switch {
 	case m.selfOwned:

@@ -110,12 +110,14 @@ func New(node int, cfg Config, n coherence.NetPort, newID func() uint64, mm cohe
 	if entries < 4 {
 		entries = 4
 	}
+	// Pre-size the bookkeeping maps to the directory-cache footprint (the
+	// working set they converge to) so steady-state growth rehashes are rare.
 	return &Controller{
 		cfg: cfg, node: node, nic: n, newID: newID, memMap: mm,
-		dir:  make(map[uint64]*dirEntry),
-		vals: map[uint64]uint64{},
+		dir:  make(map[uint64]*dirEntry, entries),
+		vals: make(map[uint64]uint64, entries),
 		dirC: cache.NewArrayBytes(entries*cfg.EntryBytes, cfg.EntryBytes, 4),
-		held: make(map[uint64][]queuedReq),
+		held: make(map[uint64][]queuedReq, 16),
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"scorpio/internal/noc"
 	"scorpio/internal/notif"
+	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
 
@@ -123,27 +124,41 @@ type respAssembly struct {
 type meshPort struct {
 	mesh     *noc.Mesh
 	tr       *noc.OutputTracker
-	reqQ     []*noc.Packet
-	respQ    []*noc.Packet
+	reqQ     ring.Ring[*noc.Packet]
+	respQ    ring.Ring[*noc.Packet]
 	inFlight *noc.Packet
 	nextSeq  int
 	curVC    int
 	lastVNet noc.VNet
 
-	reqBuf    [][]reqEntry
-	respVCBuf [][]*noc.Flit
+	// reqBuf/respVCBuf mirror the router-facing VC slots; the credit protocol
+	// bounds their occupancy to the configured buffer depths, so the rings are
+	// fixed-capacity. arrivalQ is bounded only by total VC occupancy, so it
+	// stays growable (pre-sized to the total GO-REQ slot count).
+	reqBuf    []ring.Ring[reqEntry]
+	respVCBuf []ring.Ring[*noc.Flit]
 	respBuf   []respAssembly
-	arrivalQ  []int // unordered mode: VC indexes in arrival order
+	arrivalQ  ring.Ring[int] // unordered mode: VC indexes in arrival order
 }
 
-func newMeshPort(cfg noc.Config, mesh *noc.Mesh) *meshPort {
-	return &meshPort{
+func newMeshPort(cfg noc.Config, injectDepth int, mesh *noc.Mesh) *meshPort {
+	p := &meshPort{
 		mesh:      mesh,
 		tr:        noc.NewOutputTracker(cfg),
-		reqBuf:    make([][]reqEntry, cfg.TotalVCs(noc.GOReq)),
-		respVCBuf: make([][]*noc.Flit, cfg.TotalVCs(noc.UOResp)),
+		reqQ:      ring.New[*noc.Packet](injectDepth),
+		respQ:     ring.New[*noc.Packet](injectDepth),
+		reqBuf:    make([]ring.Ring[reqEntry], cfg.TotalVCs(noc.GOReq)),
+		respVCBuf: make([]ring.Ring[*noc.Flit], cfg.TotalVCs(noc.UOResp)),
 		respBuf:   make([]respAssembly, cfg.TotalVCs(noc.UOResp)),
+		arrivalQ:  ring.New[int](cfg.TotalVCs(noc.GOReq) * cfg.GOReqBufDepth),
 	}
+	for i := range p.reqBuf {
+		p.reqBuf[i] = ring.NewFixed[reqEntry](cfg.GOReqBufDepth)
+	}
+	for i := range p.respVCBuf {
+		p.respVCBuf[i] = ring.NewFixed[*noc.Flit](cfg.UORespBufDepth)
+	}
+	return p
 }
 
 // NIC is one tile's network interface controller.
@@ -170,12 +185,19 @@ type NIC struct {
 	announcedLag int // announcements whose merged vector has not returned yet
 
 	// Receive path.
-	reqHold  []reqEntry    // NIC-internal out-of-order holding buffer
-	doneResp []*noc.Packet // assembled responses awaiting the agent
-	loopback []*noc.Packet // own broadcast requests awaiting own global order
+	reqHold  ring.Ring[reqEntry]    // NIC-internal out-of-order holding buffer
+	doneResp ring.Ring[*noc.Packet] // assembled responses awaiting the agent
+	loopback ring.Ring[*noc.Packet] // own broadcast requests awaiting own global order
+	// pool recycles the flits this NIC injects and ejects; only this NIC
+	// touches it, so it is race-free under the parallel kernel (see
+	// noc.FlitPool).
+	pool noc.FlitPool
 
 	// Global-order state.
-	trackerQ     []notif.Vector
+	trackerQ ring.Ring[notif.Vector]
+	// vecFree recycles the Counts buffers of consumed tracker vectors so
+	// per-window vector cloning allocates nothing in steady state.
+	vecFree      [][]uint8
 	order        []sidRun
 	orderPos     int
 	rrPtr        int
@@ -204,8 +226,12 @@ func New(node int, cfg Config, mesh *noc.Mesh, nnet *notif.Network, agent Agent)
 		netCfg: netCfg,
 		ownSID: node,
 	}
-	n.ports = []*meshPort{newMeshPort(netCfg, mesh)}
+	n.ports = []*meshPort{newMeshPort(netCfg, cfg.InjectQueueDepth, mesh)}
 	n.deliveredSeq = make([]uint64, netCfg.Nodes())
+	n.reqHold = ring.NewFixed[reqEntry](cfg.ReqBufDepth)
+	n.doneResp = ring.New[*noc.Packet](4)
+	n.loopback = ring.New[*noc.Packet](cfg.MaxPendingNotifs)
+	n.trackerQ = ring.NewFixed[notif.Vector](cfg.TrackerDepth)
 	mesh.AttachESID(node, n)
 	if nnet != nil {
 		n.ncfg = nnet.Config()
@@ -217,7 +243,7 @@ func New(node int, cfg Config, mesh *noc.Mesh, nnet *notif.Network, agent Agent)
 // AddMesh attaches an additional main network; injected packets stripe
 // round-robin across all attached meshes.
 func (n *NIC) AddMesh(mesh *noc.Mesh) {
-	n.ports = append(n.ports, newMeshPort(n.netCfg, mesh))
+	n.ports = append(n.ports, newMeshPort(n.netCfg, n.cfg.InjectQueueDepth, mesh))
 	mesh.AttachESID(n.node, n)
 }
 
@@ -240,7 +266,7 @@ func (n *NIC) NotificationOffer() (int, bool) { return n.offerCount, n.offerStop
 func (n *NIC) queuedReqs() int {
 	total := len(n.stagedReq)
 	for _, p := range n.ports {
-		total += len(p.reqQ)
+		total += p.reqQ.Len()
 	}
 	return total
 }
@@ -248,7 +274,7 @@ func (n *NIC) queuedReqs() int {
 func (n *NIC) queuedResps() int {
 	total := len(n.stagedResp)
 	for _, p := range n.ports {
-		total += len(p.respQ)
+		total += p.respQ.Len()
 	}
 	return total
 }
@@ -304,6 +330,7 @@ func (n *NIC) Evaluate(cycle uint64) {
 	for _, port := range n.ports {
 		for _, c := range port.mesh.InjectLink(n.node).Credits() {
 			port.tr.ProcessCredit(c)
+			n.pool.Put(c.Carcass)
 		}
 	}
 	if n.cfg.Ordered {
@@ -323,19 +350,19 @@ func (n *NIC) Commit(cycle uint64) {
 	for _, p := range n.stagedReq {
 		port := n.ports[n.sendRR%len(n.ports)]
 		n.sendRR++
-		port.reqQ = append(port.reqQ, p)
+		port.reqQ.Push(p)
 		if n.cfg.Ordered {
-			n.loopback = append(n.loopback, p)
+			n.loopback.Push(p)
 			n.unannounced++
 		}
 	}
-	n.stagedReq = nil
+	n.stagedReq = n.stagedReq[:0]
 	for _, p := range n.stagedResp {
 		port := n.ports[n.sendRR%len(n.ports)]
 		n.sendRR++
-		port.respQ = append(port.respQ, p)
+		port.respQ.Push(p)
 	}
-	n.stagedResp = nil
+	n.stagedResp = n.stagedResp[:0]
 	// Registered ESID output: the exact (SID, sequence) occurrence expected.
 	n.esidValid = n.orderActive()
 	if n.esidValid {
@@ -345,7 +372,7 @@ func (n *NIC) Commit(cycle uint64) {
 	// Registered notification offer for the next window start. The vector
 	// being expanded into ESIDs still occupies a slot, so it counts toward
 	// the nearly-full threshold that asserts the stop bit.
-	occupancy := len(n.trackerQ)
+	occupancy := n.trackerQ.Len()
 	if n.orderActive() {
 		occupancy++
 	}
@@ -376,10 +403,10 @@ func (n *NIC) processNotifications(cycle uint64) {
 			}
 			n.announcedLag = 0
 		} else {
-			if len(n.trackerQ) >= n.cfg.TrackerDepth {
+			if n.trackerQ.Len() >= n.cfg.TrackerDepth {
 				panic(fmt.Sprintf("nic: node %d notification tracker overflow", n.node))
 			}
-			n.trackerQ = append(n.trackerQ, v.Clone())
+			n.trackerQ.Push(n.cloneVector(v))
 			n.announcedLag = 0
 		}
 	}
@@ -392,9 +419,8 @@ func (n *NIC) processNotifications(cycle uint64) {
 		n.announcedLag = n.offerCount
 	}
 	// Expand the next vector once the current ESID sequence is exhausted.
-	if !n.orderActive() && len(n.trackerQ) > 0 {
-		v := n.trackerQ[0]
-		n.trackerQ = n.trackerQ[1:]
+	if !n.orderActive() && !n.trackerQ.Empty() {
+		v := n.trackerQ.PopFront()
 		n.order = n.order[:0]
 		nNodes := n.ncfg.Nodes()
 		for k := 0; k < nNodes; k++ {
@@ -403,10 +429,27 @@ func (n *NIC) processNotifications(cycle uint64) {
 				n.order = append(n.order, sidRun{sid: sid, count: int(c)})
 			}
 		}
+		n.vecFree = append(n.vecFree, v.Counts)
 		n.orderPos = 0
 		// Rotating priority: fairness across windows (Section 3.1).
 		n.rrPtr = (n.rrPtr + 1) % nNodes
 	}
+}
+
+// cloneVector copies a delivered notification vector into a recycled Counts
+// buffer (the delivery is only valid for one cycle; the tracker queue needs
+// its own copy).
+func (n *NIC) cloneVector(v notif.Vector) notif.Vector {
+	var counts []uint8
+	if k := len(n.vecFree); k > 0 {
+		counts = n.vecFree[k-1]
+		n.vecFree[k-1] = nil
+		n.vecFree = n.vecFree[:k-1]
+	} else {
+		counts = make([]uint8, len(v.Counts))
+	}
+	copy(counts, v.Counts)
+	return notif.Vector{Counts: counts, Stop: v.Stop}
 }
 
 // receive buffers flits arriving from every port's local output port and,
@@ -419,16 +462,18 @@ func (n *NIC) receive(cycle uint64) {
 			switch f.Pkt.VNet {
 			case noc.GOReq:
 				vc := f.InVC()
-				if len(port.reqBuf[vc]) >= n.netCfg.GOReqBufDepth {
+				if port.reqBuf[vc].Len() >= n.netCfg.GOReqBufDepth {
 					panic(fmt.Sprintf("nic: node %d GO-REQ VC %d overflow", n.node, vc))
 				}
 				n.Stats.NetworkLatency.Observe(float64(cycle - f.Pkt.NetworkEntry))
-				port.reqBuf[vc] = append(port.reqBuf[vc], reqEntry{pkt: f.Pkt, arrive: cycle})
+				port.reqBuf[vc].Push(reqEntry{pkt: f.Pkt, arrive: cycle})
 				if !n.cfg.Ordered {
-					port.arrivalQ = append(port.arrivalQ, vc)
+					port.arrivalQ.Push(vc)
 				}
+				// The entry carries the packet; the flit itself is done.
+				n.pool.Put(f)
 			case noc.UOResp:
-				port.respVCBuf[f.InVC()] = append(port.respVCBuf[f.InVC()], f)
+				port.respVCBuf[f.InVC()].Push(f)
 			}
 		}
 		// Drain ordered requests from the VC slots into the NIC holding
@@ -436,11 +481,9 @@ func (n *NIC) receive(cycle uint64) {
 		// unordered baselines deliver straight from the VC slots).
 		if n.cfg.Ordered {
 			for vc := range port.reqBuf {
-				if len(port.reqBuf[vc]) > 0 && len(n.reqHold) < n.cfg.ReqBufDepth {
-					e := port.reqBuf[vc][0]
-					port.reqBuf[vc] = port.reqBuf[vc][1:]
-					n.reqHold = append(n.reqHold, e)
-					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+				if !port.reqBuf[vc].Empty() && n.reqHold.Len() < n.cfg.ReqBufDepth {
+					n.reqHold.Push(port.reqBuf[vc].PopFront())
+					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
 				}
 			}
 		}
@@ -449,12 +492,11 @@ func (n *NIC) receive(cycle uint64) {
 		}
 		// Drain buffered response flits (one read port per VC).
 		for vc := range port.respVCBuf {
-			if len(port.respVCBuf[vc]) == 0 {
+			if port.respVCBuf[vc].Empty() {
 				continue
 			}
-			f := port.respVCBuf[vc][0]
-			port.respVCBuf[vc] = port.respVCBuf[vc][1:]
-			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail()})
+			f := port.respVCBuf[vc].PopFront()
+			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()})
 			as := &port.respBuf[vc]
 			if as.pkt == nil {
 				as.pkt = f.Pkt
@@ -465,10 +507,12 @@ func (n *NIC) receive(cycle uint64) {
 					panic(fmt.Sprintf("nic: node %d UO-RESP packet %s assembled %d/%d flits", n.node, f.Pkt, as.flits, f.Pkt.Flits))
 				}
 				f.Pkt.ArriveCycle = cycle
-				n.doneResp = append(n.doneResp, f.Pkt)
+				n.doneResp.Push(f.Pkt)
 				as.pkt = nil
 				as.flits = 0
 			}
+			// The assembly registers only count flits; the flit is done.
+			n.pool.Put(f)
 		}
 	}
 }
@@ -488,15 +532,15 @@ func (n *NIC) deliver(cycle uint64) {
 	// Unordered (baseline) mode: requests flow in arrival order per port.
 	if !n.cfg.Ordered {
 		for _, port := range n.ports {
-			if len(port.arrivalQ) == 0 {
+			if port.arrivalQ.Empty() {
 				continue
 			}
-			vc := port.arrivalQ[0]
-			e := port.reqBuf[vc][0]
+			vc := port.arrivalQ.Front()
+			e := port.reqBuf[vc].Front()
 			if n.agent.AcceptOrderedRequest(e.pkt, e.arrive, cycle) {
-				port.arrivalQ = port.arrivalQ[1:]
-				port.reqBuf[vc] = port.reqBuf[vc][1:]
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+				port.arrivalQ.PopFront()
+				port.reqBuf[vc].PopFront()
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
 				n.Stats.DeliveredRequests++
 				delivered = true
 			}
@@ -521,10 +565,10 @@ func (n *NIC) deliver(cycle uint64) {
 		}
 	}
 	// Assembled responses flow on the parallel data channels.
-	if len(n.doneResp) > 0 {
-		p := n.doneResp[0]
+	if !n.doneResp.Empty() {
+		p := n.doneResp.Front()
 		if n.agent.AcceptResponse(p, cycle) {
-			n.doneResp = n.doneResp[1:]
+			n.doneResp.PopFront()
 			n.Stats.DeliveredResponses++
 			n.Stats.ResponseLatency.Observe(float64(cycle - p.InjectCycle))
 			delivered = true
@@ -541,21 +585,23 @@ func (n *NIC) deliver(cycle uint64) {
 func (n *NIC) expectedPacket(sid int) (*noc.Packet, uint64, bool) {
 	seq := n.deliveredSeq[sid]
 	if sid == n.ownSID {
-		if len(n.loopback) > 0 && n.loopback[0].SrcSeq == seq {
-			p := n.loopback[0]
+		if !n.loopback.Empty() && n.loopback.Front().SrcSeq == seq {
+			p := n.loopback.Front()
 			return p, p.InjectCycle, true
 		}
 		return nil, 0, false
 	}
-	for _, e := range n.reqHold {
+	for i := 0; i < n.reqHold.Len(); i++ {
+		e := n.reqHold.At(i)
 		if e.pkt.SID == sid && e.pkt.SrcSeq == seq {
 			return e.pkt, e.arrive, true
 		}
 	}
 	for _, port := range n.ports {
-		for _, buf := range port.reqBuf {
-			if len(buf) > 0 && buf[0].pkt.SID == sid && buf[0].pkt.SrcSeq == seq {
-				return buf[0].pkt, buf[0].arrive, true
+		for vc := range port.reqBuf {
+			buf := &port.reqBuf[vc]
+			if !buf.Empty() && buf.Front().pkt.SID == sid && buf.Front().pkt.SrcSeq == seq {
+				return buf.Front().pkt, buf.Front().arrive, true
 			}
 		}
 	}
@@ -567,20 +613,22 @@ func (n *NIC) expectedPacket(sid int) (*noc.Packet, uint64, bool) {
 func (n *NIC) consumeExpected(sid int) {
 	seq := n.deliveredSeq[sid]
 	if sid == n.ownSID {
-		n.loopback = n.loopback[1:]
+		n.loopback.PopFront()
 		return
 	}
-	for i, e := range n.reqHold {
+	for i := 0; i < n.reqHold.Len(); i++ {
+		e := n.reqHold.At(i)
 		if e.pkt.SID == sid && e.pkt.SrcSeq == seq {
-			n.reqHold = append(n.reqHold[:i], n.reqHold[i+1:]...)
+			n.reqHold.RemoveAt(i)
 			return
 		}
 	}
 	for _, port := range n.ports {
-		for vc, buf := range port.reqBuf {
-			if len(buf) > 0 && buf[0].pkt.SID == sid && buf[0].pkt.SrcSeq == seq {
-				port.reqBuf[vc] = buf[1:]
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true})
+		for vc := range port.reqBuf {
+			buf := &port.reqBuf[vc]
+			if !buf.Empty() && buf.Front().pkt.SID == sid && buf.Front().pkt.SrcSeq == seq {
+				buf.PopFront()
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
 				return
 			}
 		}
@@ -599,26 +647,25 @@ func (n *NIC) inject(port *meshPort, cycle uint64) {
 	if port.lastVNet == noc.GOReq {
 		first, second = noc.UOResp, noc.GOReq
 	}
-	for _, v := range []noc.VNet{first, second} {
-		if n.startInjection(port, v, cycle) {
-			port.lastVNet = v
-			return
-		}
+	if n.startInjection(port, first, cycle) {
+		port.lastVNet = first
+		return
+	}
+	if n.startInjection(port, second, cycle) {
+		port.lastVNet = second
 	}
 }
 
 // startInjection tries to begin serializing the head packet of a queue.
 func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
-	var q []*noc.Packet
-	if v == noc.GOReq {
-		q = port.reqQ
-	} else {
-		q = port.respQ
+	q := &port.reqQ
+	if v != noc.GOReq {
+		q = &port.respQ
 	}
-	if len(q) == 0 {
+	if q.Empty() {
 		return false
 	}
-	p := q[0]
+	p := q.Front()
 	rvcOK := false
 	if v == noc.GOReq && n.cfg.Ordered {
 		// A fresh broadcast covers every node but this one.
@@ -631,7 +678,7 @@ func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
 	port.tr.ClaimHeadVC(v, vc, p.SID)
 	port.curVC = vc
 	p.NetworkEntry = cycle
-	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, 0, vc))
+	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, 0, vc))
 	if p.Flits == 1 {
 		n.finishInjection(port, v)
 	} else {
@@ -648,7 +695,7 @@ func (n *NIC) continueInjection(port *meshPort, cycle uint64) {
 		return
 	}
 	port.tr.ChargeBody(p.VNet, port.curVC)
-	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, port.nextSeq, port.curVC))
+	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, port.nextSeq, port.curVC))
 	port.nextSeq++
 	if port.nextSeq == p.Flits {
 		port.inFlight = nil
@@ -659,10 +706,10 @@ func (n *NIC) continueInjection(port *meshPort, cycle uint64) {
 // finishInjection pops the fully serialized packet off its queue.
 func (n *NIC) finishInjection(port *meshPort, v noc.VNet) {
 	if v == noc.GOReq {
-		port.reqQ = port.reqQ[1:]
+		port.reqQ.PopFront()
 		n.Stats.InjectedRequests++
 	} else {
-		port.respQ = port.respQ[1:]
+		port.respQ.PopFront()
 		n.Stats.InjectedResponses++
 	}
 }
@@ -671,4 +718,4 @@ func (n *NIC) finishInjection(port *meshPort, v noc.VNet) {
 func (n *NIC) PendingNotifications() int { return n.unannounced + len(n.stagedReq) }
 
 // TrackerOccupancy exposes the notification tracker queue depth (for tests).
-func (n *NIC) TrackerOccupancy() int { return len(n.trackerQ) }
+func (n *NIC) TrackerOccupancy() int { return n.trackerQ.Len() }

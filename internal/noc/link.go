@@ -3,10 +3,23 @@ package noc
 // Credit is the flow-control return channel token: the downstream buffer
 // freed one slot of the given virtual channel, and, when FreeVC is set, the
 // tail flit departed so the VC itself may be reallocated to a new packet.
+//
+// Carcass optionally carries a consumed flit object back to the sender for
+// recycling. Without it, flit pools drift: a broadcast forks in-network
+// (flits created in router pools) but every copy is destroyed at a NIC, so
+// router pools run a permanent deficit while NIC pools accumulate surplus.
+// Riding the credit path fixes the imbalance exactly — every flit a
+// component sends produces exactly one downstream credit, so returns match
+// draws one-for-one and each pool's deficit is bounded by its in-flight
+// inventory. The receiver owns the carcass once the credit is latched and
+// releases it into its own pool via FlitPool.Put (which zeroes it); a nil
+// carcass (consumer's pool momentarily empty) is harmless — the balance is
+// restored by a later credit.
 type Credit struct {
-	VNet   VNet
-	VC     int
-	FreeVC bool
+	VNet    VNet
+	VC      int
+	FreeVC  bool
+	Carcass *Flit
 }
 
 // Link is a one-cycle point-to-point channel between an upstream output port
@@ -47,10 +60,13 @@ func (l *Link) Credits() []Credit { return l.credits }
 // Evaluate implements sim.Component (links have no combinational work).
 func (l *Link) Evaluate(cycle uint64) {}
 
-// Commit latches the pending flit and credits for next-cycle delivery.
+// Commit latches the pending flit and credits for next-cycle delivery. The
+// two credit slices are double-buffered (swapped, not reallocated): the
+// upstream end only reads the latched slice while the downstream end only
+// appends to the pending one, so reusing last cycle's backing array is safe
+// and keeps the per-cycle credit path allocation-free.
 func (l *Link) Commit(cycle uint64) {
 	l.flit = l.nextFlit
 	l.nextFlit = nil
-	l.credits = l.nextCredits
-	l.nextCredits = nil
+	l.credits, l.nextCredits = l.nextCredits, l.credits[:0]
 }

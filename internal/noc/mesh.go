@@ -150,6 +150,15 @@ func (m *Mesh) EjectLink(node int) *Link { return m.eject[node] }
 // Router returns the router at the given node (for stats and tests).
 func (m *Mesh) Router(node int) *Router { return m.routers[node] }
 
+// PrimeFlitPools pre-fills every router's flit pool with n flits each (see
+// FlitPool.Prime). Harnesses that assert zero steady-state allocation call it
+// once before measuring.
+func (m *Mesh) PrimeFlitPools(n int) {
+	for _, r := range m.routers {
+		r.pool.Prime(n)
+	}
+}
+
 // NextPacketID issues a unique packet ID.
 func (m *Mesh) NextPacketID() uint64 {
 	m.nextPktID++
@@ -183,8 +192,8 @@ func (m *Mesh) CheckInvariants() error {
 			}
 			for v := VNet(0); v < NumVNets; v++ {
 				for i, vc := range iu.vcs[v] {
-					if len(vc.q) > m.cfg.BufDepthFor(v) {
-						return fmt.Errorf("router %d port %s %s vc %d holds %d flits (cap %d)", r.id, p, v, i, len(vc.q), m.cfg.BufDepthFor(v))
+					if vc.q.Len() > m.cfg.BufDepthFor(v) {
+						return fmt.Errorf("router %d port %s %s vc %d holds %d flits (cap %d)", r.id, p, v, i, vc.q.Len(), m.cfg.BufDepthFor(v))
 					}
 				}
 			}

@@ -92,9 +92,3 @@ func (f *Flit) IsTail() bool { return f.Seq == f.Pkt.Flits-1 }
 
 // portMask returns the bitmask bit for a port.
 func portMask(p Port) uint8 { return 1 << uint(p) }
-
-// clone returns a copy of the flit for one multicast branch.
-func (f *Flit) clone() *Flit {
-	c := *f
-	return &c
-}

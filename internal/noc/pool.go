@@ -1,0 +1,95 @@
+package noc
+
+// FlitPool is a free-list recycler for Flit objects. Cycle-level NoC
+// simulation lives or dies on per-flit cost: every injected packet
+// serializes into flits and every router traversal clones one (a broadcast
+// forks at each row/column junction of the XY multicast tree, so one snoop
+// fans out into dozens of flit copies). Recycling them removes the dominant
+// steady-state heap churn from the simulate loop.
+//
+// Ownership rule: each pool belongs to exactly one component (a router, a
+// NIC, a baseline endpoint, a traffic node) and is only touched inside that
+// component's Evaluate/Commit. Flits migrate freely between owners — a flit
+// drawn from router A's pool travels a link and is later released into
+// router B's (or a NIC's) pool — which is race-free under the parallel
+// kernel because allocation and release both happen in the owning
+// component's own phase, and makes every pool self-balancing at its owner's
+// local flit rate.
+//
+// Reset invariant: Put zeroes every field before the flit re-enters the free
+// list, and Get/Clone overwrite every field they hand out, so a recycled
+// flit is bit-identical to a freshly allocated one. This is what keeps the
+// parallel-determinism guarantee intact with pooling enabled (see
+// TestFlitPoolResetInvariant and DESIGN.md §7).
+type FlitPool struct {
+	free []*Flit
+}
+
+// Get returns a flit initialised exactly like NewFlit(p, seq, vc), reusing a
+// recycled flit when one is available.
+func (fp *FlitPool) Get(p *Packet, seq, vc int) *Flit {
+	f := fp.take()
+	if f == nil {
+		return NewFlit(p, seq, vc)
+	}
+	f.Pkt, f.Seq, f.inVC = p, seq, vc
+	return f
+}
+
+// Clone returns a field-for-field copy of src (one multicast branch),
+// reusing a recycled flit when one is available.
+func (fp *FlitPool) Clone(src *Flit) *Flit {
+	f := fp.take()
+	if f == nil {
+		c := *src
+		return &c
+	}
+	*f = *src
+	return f
+}
+
+// Put releases a flit into the free list after its last use, resetting every
+// field so no packet state can leak into a later reuse. Put(nil) is a no-op.
+func (fp *FlitPool) Put(f *Flit) {
+	if f == nil {
+		return
+	}
+	*f = Flit{}
+	fp.free = append(fp.free, f)
+}
+
+// Size reports the number of flits currently parked in the free list
+// (diagnostics and tests).
+func (fp *FlitPool) Size() int { return len(fp.free) }
+
+// Prime pre-fills the pool with n fresh flits and reserves slack capacity in
+// the free list. A pool's deficit is bounded by its owner's in-flight flits,
+// but the first excursions to that bound allocate; harnesses that must be
+// strictly allocation-free in steady state (TestMeshSteadyStateAllocs) prime
+// the pools past the bound up front instead.
+func (fp *FlitPool) Prime(n int) {
+	if cap(fp.free)-len(fp.free) < 2*n {
+		free := make([]*Flit, len(fp.free), len(fp.free)+2*n)
+		copy(free, fp.free)
+		fp.free = free
+	}
+	for i := 0; i < n; i++ {
+		fp.free = append(fp.free, &Flit{})
+	}
+}
+
+// TakeFree detaches one recycled (already zeroed) flit so the caller can
+// return it upstream as a Credit carcass; nil when the pool is empty.
+func (fp *FlitPool) TakeFree() *Flit { return fp.take() }
+
+// take pops one recycled flit, or returns nil when the free list is empty.
+func (fp *FlitPool) take() *Flit {
+	n := len(fp.free)
+	if n == 0 {
+		return nil
+	}
+	f := fp.free[n-1]
+	fp.free[n-1] = nil
+	fp.free = fp.free[:n-1]
+	return f
+}

@@ -1,0 +1,78 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFlitPoolResetInvariant pins the property pooling correctness rests on:
+// a flit drawn from a pool that recycled a heavily-used flit is bit-identical
+// to a freshly allocated one. If a new field is ever added to Flit without
+// being covered by Put's reset (Put assigns the zero Flit, so any new field
+// is covered automatically unless Put is rewritten), this test fails.
+func TestFlitPoolResetInvariant(t *testing.T) {
+	dirty := &Packet{ID: 42, VNet: GOReq, Src: 3, Dst: 7, Flits: 1}
+	var fp FlitPool
+
+	f := fp.Get(dirty, 0, 2)
+	// Smear every internal field as a router would.
+	f.arrival = 999
+	f.outPorts = 0x1f
+	f.bypassCandidate = true
+	f.lastPort = East
+	f.lastDstVC = 3
+	fp.Put(f)
+	if fp.Size() != 1 {
+		t.Fatalf("pool size = %d after Put, want 1", fp.Size())
+	}
+
+	clean := &Packet{ID: 1, VNet: UOResp, Src: 0, Dst: 1, Flits: 2}
+	recycled := fp.Get(clean, 1, 0)
+	fresh := NewFlit(clean, 1, 0)
+	if !reflect.DeepEqual(recycled, fresh) {
+		t.Fatalf("recycled flit %+v differs from fresh flit %+v", recycled, fresh)
+	}
+
+	// Clone must also fully overwrite a recycled flit.
+	src := NewFlit(dirty, 0, 1)
+	src.arrival = 7
+	src.outPorts = 0x03
+	fp.Put(recycled)
+	cloned := fp.Clone(src)
+	if !reflect.DeepEqual(cloned, src) {
+		t.Fatalf("pooled clone %+v differs from source %+v", cloned, src)
+	}
+
+	// Put must zero every field so no packet state is retained by the free
+	// list (the Pkt pointer in particular must not keep packets alive).
+	fp.Put(cloned)
+	parked := fp.free[len(fp.free)-1]
+	if !reflect.DeepEqual(*parked, Flit{}) {
+		t.Fatalf("parked flit %+v not zeroed", *parked)
+	}
+
+	// Put(nil) is a no-op.
+	n := fp.Size()
+	fp.Put(nil)
+	if fp.Size() != n {
+		t.Fatal("Put(nil) changed pool size")
+	}
+}
+
+// TestFlitPoolReuses verifies Get/Clone actually draw from the free list
+// instead of allocating.
+func TestFlitPoolReuses(t *testing.T) {
+	var fp FlitPool
+	p := &Packet{Flits: 1}
+	f := fp.Get(p, 0, 0)
+	fp.Put(f)
+	g := fp.Get(p, 0, 0)
+	if f != g {
+		t.Fatal("Get did not reuse the recycled flit")
+	}
+	fp.Put(g)
+	c := fp.Clone(NewFlit(p, 0, 0))
+	if c != g {
+		t.Fatal("Clone did not reuse the recycled flit")
+	}
+}

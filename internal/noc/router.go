@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"scorpio/internal/ring"
+)
 
 // RouterStats counts router activity for the power model and tests.
 type RouterStats struct {
@@ -14,9 +18,12 @@ type RouterStats struct {
 }
 
 // vcState is one input virtual channel: its flit queue and, for multi-flit
-// packets, the route and downstream VC allocated by the head flit.
+// packets, the route and downstream VC allocated by the head flit. The queue
+// is a fixed-capacity ring sized by the configured buffer depth: the credit
+// protocol guarantees the depth is never exceeded, so an overflow stays a
+// panic (inside ring.Push) rather than a silent reallocation.
 type vcState struct {
-	q       []*Flit
+	q       ring.Ring[*Flit]
 	outPort Port
 	outVC   int
 	active  bool
@@ -34,7 +41,7 @@ func newInputUnit(cfg Config, link *Link) *inputUnit {
 		n := cfg.TotalVCs(v)
 		iu.vcs[v] = make([]*vcState, n)
 		for i := 0; i < n; i++ {
-			iu.vcs[v][i] = &vcState{}
+			iu.vcs[v][i] = &vcState{q: ring.NewFixed[*Flit](cfg.BufDepthFor(v))}
 		}
 	}
 	return iu
@@ -76,8 +83,13 @@ type Router struct {
 	// candBuf holds each input port's SA-I winner for the current cycle,
 	// reused across cycles to keep the allocation hot path allocation-free.
 	candBuf [NumPorts]candidate
-	Stats   RouterStats
-	now     uint64
+	// pool recycles flits: switch traversal draws clones from it and
+	// fully-serviced buffered flits are released back in dequeue. Only this
+	// router touches its pool, so pooling is race-free under the parallel
+	// kernel (see FlitPool).
+	pool  FlitPool
+	Stats RouterStats
+	now   uint64
 }
 
 // newRouter builds a router; links are attached by the mesh.
@@ -105,6 +117,7 @@ func (r *Router) Evaluate(cycle uint64) {
 		}
 		for _, c := range ou.link.Credits() {
 			ou.tr.ProcessCredit(c)
+			r.pool.Put(c.Carcass)
 		}
 	}
 	for p := Port(0); p < NumPorts; p++ {
@@ -131,11 +144,11 @@ func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
 		panic(fmt.Sprintf("noc: router %d received multi-flit broadcast %s; broadcasts must be single-flit", r.id, f.Pkt))
 	}
 	vc := iu.vcs[vnet][f.inVC]
-	if len(vc.q) >= r.cfg.BufDepthFor(vnet) {
+	if vc.q.Len() >= r.cfg.BufDepthFor(vnet) {
 		panic(fmt.Sprintf("noc: router %d port %s VC overflow — credit protocol violated", r.id, p))
 	}
 	f.arrival = r.now
-	f.bypassCandidate = r.cfg.Bypass && len(vc.q) == 0
+	f.bypassCandidate = r.cfg.Bypass && vc.q.Empty()
 	if f.IsHead() {
 		if f.Pkt.Broadcast {
 			f.outPorts = r.broadcastMask(p)
@@ -143,7 +156,7 @@ func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
 			f.outPorts = portMask(r.routeUnicast(f.Pkt.Dst))
 		}
 	}
-	vc.q = append(vc.q, f)
+	vc.q.Push(f)
 	r.Stats.FlitsAccepted++
 	r.Stats.BufferWrites++
 }
@@ -295,7 +308,9 @@ func (r *Router) allocate() {
 	}
 	// Dequeue flits whose pending output set is exhausted, count extra
 	// branches of multicast forks, and demote lookaheads that failed to
-	// claim the switch back to the buffered pipeline (Section 3.2).
+	// claim the switch back to the buffered pipeline (Section 3.2). The
+	// dequeue (which releases the flit into the recycle pool, resetting its
+	// fields) must come after the last read of the flit.
 	for p := Port(0); p < NumPorts; p++ {
 		c := cands[p]
 		if c == nil {
@@ -306,13 +321,13 @@ func (r *Router) allocate() {
 				r.Stats.Forks += uint64(n - 1)
 			}
 			c.flit.outPorts &^= mask
-			if c.flit.outPorts == 0 {
-				r.dequeue(c)
-			}
 		}
 		if c.flit.bypassCandidate && (granted[p] == 0 || c.flit.outPorts != 0) {
 			c.flit.bypassCandidate = false
 			r.Stats.AllocStalls++
+		}
+		if granted[p] != 0 && c.flit.outPorts == 0 {
+			r.dequeue(c)
 		}
 	}
 }
@@ -337,10 +352,10 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 			v, i = UOResp, idx-split
 		}
 		vc := iu.vcs[v][i]
-		if len(vc.q) == 0 {
+		if vc.q.Empty() {
 			continue
 		}
-		f := vc.q[0]
+		f := vc.q.Front()
 		if !r.eligible(f) {
 			continue
 		}
@@ -373,7 +388,8 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 	// The winner lives in the router's reusable per-port buffer: the hot
 	// path allocates nothing per cycle.
 	c := &r.candBuf[p]
-	*c = candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: vc.q[0], wants: bestWants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: vc.q[0].IsHead()}
+	head := vc.q.Front()
+	*c = candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: head, wants: bestWants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: head.IsHead()}
 	if c.priorityClass() == 2 {
 		r.saiPtr[p] = (bestFlat + 1) % total
 	}
@@ -448,7 +464,7 @@ func (r *Router) claim(c *candidate, o Port) (grant, bool) {
 
 // traverse sends one flit copy through the crossbar onto an output link.
 func (r *Router) traverse(g grant) {
-	out := g.flit.clone()
+	out := r.pool.Clone(g.flit)
 	out.inVC = g.dstVC
 	out.outPorts = 0
 	r.out[g.out].link.Send(out)
@@ -465,11 +481,10 @@ func (r *Router) traverse(g grant) {
 // upstream, and maintains wormhole state for multi-flit packets.
 func (r *Router) dequeue(c *candidate) {
 	vc := c.vc
-	f := vc.q[0]
-	vc.q = vc.q[1:]
+	f := vc.q.PopFront()
 	iu := r.in[c.in]
-	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: f.IsTail()})
-	if f.IsHead() && !f.IsTail() {
+	tail := f.IsTail()
+	if f.IsHead() && !tail {
 		// Record the wormhole route for the packet's body flits. Multi-flit
 		// packets are unicast, so there is exactly one granted port: the one
 		// the head just traversed.
@@ -477,9 +492,14 @@ func (r *Router) dequeue(c *candidate) {
 		vc.outPort = f.lastPort
 		vc.outVC = f.lastDstVC
 	}
-	if f.IsTail() {
+	if tail {
 		vc.active = false
 	}
+	// The buffered flit is fully serviced (every output branch traversed a
+	// pool-drawn clone); ride it upstream on the credit so the sender's pool
+	// gets its object back (see Credit.Carcass). Sent last: the carcass
+	// belongs to the upstream component once attached.
+	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: tail, Carcass: f})
 }
 
 // ForEachBufferedFlit calls fn for every flit buffered in the router's input
@@ -492,8 +512,8 @@ func (r *Router) ForEachBufferedFlit(fn func(p Port, v VNet, vc int, f *Flit)) {
 		}
 		for v := VNet(0); v < NumVNets; v++ {
 			for i, vcs := range iu.vcs[v] {
-				for _, f := range vcs.q {
-					fn(p, v, i, f)
+				for k := 0; k < vcs.q.Len(); k++ {
+					fn(p, v, i, vcs.q.At(k))
 				}
 			}
 		}

@@ -139,6 +139,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.cur[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
 		n.next[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
 	}
+	n.pendingDelivery = Vector{Counts: make([]uint8, cfg.Nodes())}
+	n.delivered = Vector{Counts: make([]uint8, cfg.Nodes())}
 	return n, nil
 }
 
@@ -180,8 +182,12 @@ func (n *Network) Evaluate(cycle uint64) {
 		return
 	}
 	// Propagate: each latch ORs its own value with its mesh neighbours'.
+	// Copy into the pre-allocated next-latch buffers instead of cloning; the
+	// per-node, per-cycle Clone was the largest fixed allocation cost of the
+	// whole simulate loop (nodes × cycles vectors).
 	for i := range n.next {
-		n.next[i] = n.cur[i].Clone()
+		copy(n.next[i].Counts, n.cur[i].Counts)
+		n.next[i].Stop = n.cur[i].Stop
 		x, y := i%n.cfg.Width, i/n.cfg.Width
 		if x > 0 {
 			n.next[i].merge(n.cur[i-1])
@@ -198,8 +204,11 @@ func (n *Network) Evaluate(cycle uint64) {
 	}
 	if pos == w-1 {
 		// Window end: node 0's latch equals every node's latch by now; it is
-		// the merged message handed to all NICs next cycle.
-		n.pendingDelivery = n.next[0].Clone()
+		// the merged message handed to all NICs next cycle. Copied into a
+		// reusable buffer — NICs that keep the vector past the one delivery
+		// cycle clone it themselves.
+		copy(n.pendingDelivery.Counts, n.next[0].Counts)
+		n.pendingDelivery.Stop = n.next[0].Stop
 		n.pendingHas = !n.pendingDelivery.Empty()
 	}
 }
@@ -209,7 +218,9 @@ func (n *Network) Commit(cycle uint64) {
 	n.cur, n.next = n.next, n.cur
 	w := uint64(n.cfg.Window())
 	if cycle%w == w-1 {
-		n.delivered = n.pendingDelivery
+		// Swap rather than alias: the two vectors stay distinct buffers so the
+		// next window's Evaluate never scribbles over the published delivery.
+		n.delivered, n.pendingDelivery = n.pendingDelivery, n.delivered
 		n.hasDelivery = n.pendingHas
 		if n.pendingHas {
 			n.WindowsDelivered++

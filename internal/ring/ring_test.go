@@ -1,0 +1,117 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	r := New[int](2)
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := r.Front(); got != i {
+			t.Fatalf("front = %d want %d", got, i)
+		}
+		if got := r.PopFront(); got != i {
+			t.Fatalf("pop = %d want %d", got, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestWrapAroundNoAlloc(t *testing.T) {
+	r := NewFixed[*int](4)
+	x := 7
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4; i++ {
+			r.Push(&x)
+		}
+		for i := 0; i < 4; i++ {
+			r.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f per run", allocs)
+	}
+}
+
+func TestFixedOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r := NewFixed[int](2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+}
+
+func TestPopZeroesSlot(t *testing.T) {
+	r := NewFixed[*int](2)
+	x := 1
+	r.Push(&x)
+	r.PopFront()
+	if r.buf[0] != nil {
+		t.Fatal("PopFront retained pointer")
+	}
+}
+
+func TestAtAndRemoveAt(t *testing.T) {
+	r := New[int](2)
+	// Force a wrapped layout: push 4, pop 2, push 2 more.
+	for i := 0; i < 4; i++ {
+		r.Push(i)
+	}
+	r.PopFront()
+	r.PopFront()
+	r.Push(4)
+	r.Push(5)
+	// Ring now holds 2,3,4,5.
+	for i, want := range []int{2, 3, 4, 5} {
+		if got := r.At(i); got != want {
+			t.Fatalf("At(%d) = %d want %d", i, got, want)
+		}
+	}
+	if got := r.RemoveAt(1); got != 3 {
+		t.Fatalf("RemoveAt(1) = %d want 3", got)
+	}
+	for i, want := range []int{2, 4, 5} {
+		if got := r.At(i); got != want {
+			t.Fatalf("after remove At(%d) = %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New[int](4)
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if !r.Empty() {
+		t.Fatal("Reset left elements")
+	}
+	r.Push(9)
+	if r.Front() != 9 {
+		t.Fatal("push after Reset broken")
+	}
+}
+
+func TestGrowPreservesWrappedOrder(t *testing.T) {
+	r := New[int](3)
+	r.Push(0)
+	r.Push(1)
+	r.Push(2)
+	r.PopFront()
+	r.Push(3) // wrapped
+	r.Push(4) // grow with head != 0
+	for i, want := range []int{1, 2, 3, 4} {
+		if got := r.At(i); got != want {
+			t.Fatalf("At(%d) = %d want %d", i, got, want)
+		}
+	}
+}

@@ -132,6 +132,11 @@ const (
 	numBreakdownComponents
 )
 
+// NumBreakdownComponents is the number of breakdown segments; callers build
+// per-transaction segment arrays of this length instead of allocating a map
+// per observed miss.
+const NumBreakdownComponents = int(numBreakdownComponents)
+
 // String returns the paper's label for the component.
 func (b BreakdownComponent) String() string {
 	switch b {
@@ -161,13 +166,14 @@ type Breakdown struct {
 	total Mean
 }
 
-// Observe records one transaction's segment latencies (cycles). Missing
-// segments should be passed as zero and still count toward the mean so the
-// stacked components sum to the mean total latency.
-func (b *Breakdown) Observe(segments map[BreakdownComponent]uint64) {
+// Observe records one transaction's segment latencies (cycles), indexed by
+// BreakdownComponent. Missing segments should be left zero; they still count
+// toward the mean so the stacked components sum to the mean total latency.
+// The fixed-size array (rather than a map) keeps per-miss accounting off the
+// heap.
+func (b *Breakdown) Observe(segments *[NumBreakdownComponents]uint64) {
 	var sum uint64
-	for c := BreakdownComponent(0); c < numBreakdownComponents; c++ {
-		v := segments[c]
+	for c, v := range segments {
 		b.comps[c].Observe(float64(v))
 		sum += v
 	}

@@ -72,8 +72,11 @@ func TestHistogramPercentileMonotonic(t *testing.T) {
 
 func TestBreakdown(t *testing.T) {
 	var b Breakdown
-	b.Observe(map[BreakdownComponent]uint64{NetBcastReq: 20, ReqOrdering: 10, SharerAccess: 10, NetResp: 15})
-	b.Observe(map[BreakdownComponent]uint64{NetBcastReq: 30, ReqOrdering: 20, SharerAccess: 10, NetResp: 25})
+	var s1, s2 [NumBreakdownComponents]uint64
+	s1[NetBcastReq], s1[ReqOrdering], s1[SharerAccess], s1[NetResp] = 20, 10, 10, 15
+	s2[NetBcastReq], s2[ReqOrdering], s2[SharerAccess], s2[NetResp] = 30, 20, 10, 25
+	b.Observe(&s1)
+	b.Observe(&s2)
 	if b.Count() != 2 {
 		t.Fatalf("count = %d", b.Count())
 	}
@@ -84,7 +87,9 @@ func TestBreakdown(t *testing.T) {
 		t.Fatalf("total = %v, want 70", got)
 	}
 	var other Breakdown
-	other.Observe(map[BreakdownComponent]uint64{DirAccess: 100})
+	var s3 [NumBreakdownComponents]uint64
+	s3[DirAccess] = 100
+	other.Observe(&s3)
 	b.Merge(&other)
 	if b.Count() != 3 {
 		t.Fatal("merge lost samples")

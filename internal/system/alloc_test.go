@@ -1,0 +1,84 @@
+package system
+
+import (
+	"testing"
+
+	"scorpio/internal/directory"
+	"scorpio/internal/trace"
+)
+
+// Steady-state allocation bounds, in average heap allocations per kernel
+// step on a warm 6×6 machine under the barnes workload. The network layer
+// (flits, VC rings, credit buffers, NIC staging) is allocation-free —
+// TestMeshSteadyStateAllocs in internal/traffic pins that at exactly zero,
+// and the Credit.Carcass return path keeps every flit pool balanced even
+// under broadcast forking — so what remains is per-coherence-transaction
+// protocol state that outlives a cycle and is deliberately not pooled:
+// request/response Packets held in MSHRs and send queues, RespInfo payloads,
+// and map entries for newly touched lines. At barnes's issue rate that is a
+// handful of objects per transaction (LPD-D sends several unicast messages
+// per miss where SCORPIO sends one broadcast plus one response, hence its
+// higher floor). The bounds leave ~2× headroom over measured values
+// (SCORPIO ≈ 2.9/step, LPD-D ≈ 4.2/step) so they catch an accidental
+// per-flit or per-cycle allocation — which shows up as tens per step — while
+// tolerating workload noise.
+const (
+	scorpioAllocBound = 6.0
+	lpdAllocBound     = 8.0
+)
+
+// steadyAllocsPerStep warms the machine, then measures average allocations
+// per kernel step over repeated 500-step windows.
+func steadyAllocsPerStep(t *testing.T, step func(), warmSteps, measureSteps int) float64 {
+	t.Helper()
+	for i := 0; i < warmSteps; i++ {
+		step()
+	}
+	per := testing.AllocsPerRun(3, func() {
+		for i := 0; i < measureSteps; i++ {
+			step()
+		}
+	})
+	return per / float64(measureSteps)
+}
+
+func TestScorpioSteadyStateAllocs(t *testing.T) {
+	prof, err := trace.ByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(prof)
+	// Effectively infinite work: the cores must still be issuing while we
+	// measure.
+	opt.WorkPerCore = 1 << 40
+	opt.WarmupPerCore = 0
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := steadyAllocsPerStep(t, s.Kernel.Step, 6000, 500)
+	t.Logf("SCORPIO: %.2f allocs/step (bound %.1f)", per, scorpioAllocBound)
+	if per > scorpioAllocBound {
+		t.Fatalf("SCORPIO steady state allocates %.2f times per step, bound %.1f", per, scorpioAllocBound)
+	}
+}
+
+func TestDirectorySteadyStateAllocs(t *testing.T) {
+	prof, err := trace.ByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultDirectoryOptions(directory.LPD, prof)
+	opt.WorkPerCore = 1 << 40
+	opt.WarmupPerCore = 0
+	d, err := NewDirectory(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := steadyAllocsPerStep(t, d.Kernel.Step, 6000, 500)
+	t.Logf("LPD-D: %.2f allocs/step (bound %.1f)", per, lpdAllocBound)
+	if per > lpdAllocBound {
+		t.Fatalf("LPD-D steady state allocates %.2f times per step, bound %.1f", per, lpdAllocBound)
+	}
+}
+

@@ -136,7 +136,7 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		inj := trace.NewInjector(node, opt.Profile, opt.Seed, l2, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
 		b.Injectors = append(b.Injectors, inj)
 		l2.OnComplete = func(c coherence.Completion) {
-			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, &c.Breakdown)
 		}
 		k.Register(inj)
 		k.Register(l2)

@@ -34,7 +34,7 @@ func TestDebugMissMix(t *testing.T) {
 	for i := range s.L2s {
 		inj := s.Injectors[i]
 		s.L2s[i].OnComplete = func(c coherence.Completion) {
-			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, &c.Breakdown)
 			r := cats[region(c.Addr)]
 			switch {
 			case c.Hit:

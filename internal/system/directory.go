@@ -147,7 +147,7 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 		inj := trace.NewInjector(node, opt.Profile, opt.Seed, l2, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
 		d.Injectors = append(d.Injectors, inj)
 		l2.OnComplete = func(c coherence.Completion) {
-			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, &c.Breakdown)
 		}
 		// One scheduling unit per node: the NIC's deliveries call straight
 		// into the L2 and home slice, and the injector into the L2.

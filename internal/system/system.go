@@ -173,7 +173,7 @@ func NewScorpio(opt Options) (*Scorpio, error) {
 			}
 		} else {
 			l2.OnComplete = func(c coherence.Completion) {
-				inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, c.Breakdown)
+				inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, &c.Breakdown)
 			}
 		}
 		s.Kernel.RegisterGroup(node, inj)

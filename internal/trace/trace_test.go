@@ -206,12 +206,16 @@ func TestBreakdownAccountingFlows(t *testing.T) {
 	inj := NewInjector(0, prof, 3, &recorderPort{}, 2, 0, 10)
 	inj.outstanding = 1
 	inj.Issued = 1
-	inj.OnComplete(1, false, 0, 80, false, true, map[stats.BreakdownComponent]uint64{stats.NetBcastReq: 30})
+	var bd1 [stats.NumBreakdownComponents]uint64
+	bd1[stats.NetBcastReq] = 30
+	inj.OnComplete(1, false, 0, 80, false, true, &bd1)
 	if inj.CacheServed.Count() != 1 {
 		t.Fatal("cache-served breakdown not recorded")
 	}
 	inj.outstanding = 1
-	inj.OnComplete(2, false, 0, 150, false, false, map[stats.BreakdownComponent]uint64{stats.DirAccess: 100})
+	var bd2 [stats.NumBreakdownComponents]uint64
+	bd2[stats.DirAccess] = 100
+	inj.OnComplete(2, false, 0, 150, false, false, &bd2)
 	if inj.MemServed.Count() != 1 {
 		t.Fatal("memory-served breakdown not recorded")
 	}

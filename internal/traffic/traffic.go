@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"scorpio/internal/noc"
+	"scorpio/internal/ring"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 )
@@ -80,14 +81,22 @@ type Result struct {
 	Offered    uint64
 }
 
-// node is the open-loop source/sink at one tile.
+// node is the open-loop source/sink at one tile. It recycles its flits and
+// (unicast) packets so the harness runs allocation-free in steady state (see
+// TestMeshSteadyStateAllocs). Both pools are SHARED across all nodes: a
+// packet is freed at its sink but drawn at a (different) source, so per-node
+// free lists would drift apart as a random walk and keep allocating forever;
+// the shared lists are bounded by the flits/packets in flight. Sharing is
+// race-free because the traffic harness always runs the kernel serially
+// (Run never calls SetWorkers). Broadcast packets stay heap-allocated: one
+// shared object is delivered at every node, so no single sink may recycle it.
 type node struct {
 	id      int
 	cfg     Config
 	mesh    *noc.Mesh
 	tr      *noc.OutputTracker
 	rng     *sim.RNG
-	queue   []*noc.Packet
+	queue   ring.Ring[*noc.Packet]
 	cur     *noc.Packet
 	seq     int
 	vc      int
@@ -95,7 +104,29 @@ type node struct {
 	lat     *stats.Histogram
 	recv    uint64
 	offered uint64
+	pool    *noc.FlitPool
+	pkts    *pktPool
 }
+
+// pktPool recycles unicast packets (see the sharing note on node).
+type pktPool struct {
+	free []*noc.Packet
+}
+
+// get draws a recycled packet (zeroed) or allocates one.
+func (pp *pktPool) get() *noc.Packet {
+	if k := len(pp.free); k > 0 {
+		p := pp.free[k-1]
+		pp.free[k-1] = nil
+		pp.free = pp.free[:k-1]
+		*p = noc.Packet{}
+		return p
+	}
+	return &noc.Packet{}
+}
+
+// put returns a delivered packet to the pool.
+func (pp *pktPool) put(p *noc.Packet) { pp.free = append(pp.free, p) }
 
 func (n *node) ExpectedSID() (int, uint64, bool) { return 0, 0, false }
 
@@ -104,15 +135,22 @@ func (n *node) Evaluate(cycle uint64) {
 	inj := n.mesh.InjectLink(n.id)
 	for _, c := range inj.Credits() {
 		n.tr.ProcessCredit(c)
+		n.pool.Put(c.Carcass)
 	}
 	// Sink.
 	ej := n.mesh.EjectLink(n.id)
 	if f := ej.Flit(); f != nil {
-		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail()})
-		if f.IsTail() && cycle >= n.warm {
-			n.recv++
-			n.lat.Observe(cycle - f.Pkt.InjectCycle)
+		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()})
+		if f.IsTail() {
+			if cycle >= n.warm {
+				n.recv++
+				n.lat.Observe(cycle - f.Pkt.InjectCycle)
+			}
+			if !f.Pkt.Broadcast {
+				n.pkts.put(f.Pkt)
+			}
 		}
+		n.pool.Put(f)
 	}
 	// Open-loop generation (Bernoulli per cycle).
 	if n.rng.Bernoulli(n.cfg.InjectionRate) {
@@ -121,28 +159,27 @@ func (n *node) Evaluate(cycle uint64) {
 			if bcast {
 				vnet = noc.GOReq
 			}
-			p := &noc.Packet{
-				ID: n.mesh.NextPacketID(), VNet: vnet, Src: n.id, SID: n.id,
-				Dst: dst, Broadcast: bcast, Flits: n.cfg.Flits, InjectCycle: cycle,
-			}
+			p := n.pkts.get()
+			p.ID, p.VNet, p.Src, p.SID = n.mesh.NextPacketID(), vnet, n.id, n.id
+			p.Dst, p.Broadcast, p.Flits, p.InjectCycle = dst, bcast, n.cfg.Flits, cycle
 			if bcast {
 				p.Flits = 1
 			}
-			n.queue = append(n.queue, p)
+			n.queue.Push(p)
 			if cycle >= n.warm {
 				n.offered++
 			}
 		}
 	}
 	// Injection, one flit per cycle.
-	if n.cur == nil && len(n.queue) > 0 {
-		p := n.queue[0]
+	if n.cur == nil && !n.queue.Empty() {
+		p := n.queue.Front()
 		if vc, ok := n.tr.AllocHeadVC(p.VNet, p.SID, false); ok {
 			n.tr.ClaimHeadVC(p.VNet, vc, p.SID)
 			n.vc = vc
 			n.cur = p
 			n.seq = 0
-			n.queue = n.queue[1:]
+			n.queue.PopFront()
 		}
 	}
 	if n.cur != nil {
@@ -150,7 +187,7 @@ func (n *node) Evaluate(cycle uint64) {
 			if n.seq > 0 {
 				n.tr.ChargeBody(n.cur.VNet, n.vc)
 			}
-			inj.Send(noc.NewFlit(n.cur, n.seq, n.vc))
+			inj.Send(n.pool.Get(n.cur, n.seq, n.vc))
 			n.seq++
 			if n.seq == n.cur.Flits {
 				n.cur = nil
@@ -212,13 +249,18 @@ func Run(cfg Config) (Result, error) {
 	rng := sim.NewRNG(cfg.Seed + 1)
 	warm := cfg.Cycles / 5
 	nodes := make([]*node, cfg.Net.Nodes())
+	flits := &noc.FlitPool{}
+	pkts := &pktPool{}
 	for i := range nodes {
 		nodes[i] = &node{
 			id: i, cfg: cfg, mesh: mesh,
-			tr:   noc.NewOutputTracker(cfg.Net),
-			rng:  rng.Fork(),
-			warm: warm,
-			lat:  stats.NewHistogram(4, 512),
+			tr:    noc.NewOutputTracker(cfg.Net),
+			rng:   rng.Fork(),
+			warm:  warm,
+			lat:   stats.NewHistogram(4, 512),
+			queue: ring.New[*noc.Packet](8),
+			pool:  flits,
+			pkts:  pkts,
 		}
 		mesh.AttachESID(i, nodes[i])
 		k.Register(nodes[i])
