@@ -3,7 +3,7 @@ GO ?= go
 # Bump per PR that re-baselines the benchmark report.
 BENCH_JSON ?= BENCH_2.json
 
-.PHONY: build test vet race check bench benchsmoke
+.PHONY: build test vet race check bench benchsmoke tracesmoke
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -21,13 +21,13 @@ race:
 	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc
 
 # The full local CI gate.
-check: vet test race benchsmoke
+check: vet test race benchsmoke tracesmoke
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
 # network-only router benchmark, and the raw kernel stepping benchmark, with
 # allocation counting, aggregated into a JSON baseline (see cmd/benchjson).
 bench:
-	( $(GO) test -bench 'BenchmarkFig6aNormalizedRuntime$$|BenchmarkRouterThroughput' \
+	( $(GO) test -bench 'BenchmarkFig6aNormalizedRuntime$$|BenchmarkRouterThroughput$$' \
 		-benchmem -count=3 -run '^$$' . ; \
 	  $(GO) test -bench 'BenchmarkKernelThroughput' \
 		-benchmem -count=3 -run '^$$' ./internal/sim ) \
@@ -35,7 +35,16 @@ bench:
 	@cat $(BENCH_JSON)
 
 # One cheap iteration of the same benchmarks: the check gate proves they
-# still run without committing to a full measurement.
+# still run without committing to a full measurement. The unanchored
+# RouterThroughput pattern also runs the traced variant, so tracing-on is
+# exercised on every check.
 benchsmoke:
 	$(GO) test -bench 'BenchmarkRouterThroughput' -benchmem -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkKernelThroughput' -benchmem -benchtime 1x -run '^$$' ./internal/sim
+
+# The trace-format smoke: produce a lifecycle trace from a short 36-core run
+# and validate it parses as Chrome trace-event JSON with at least one fully
+# reconstructable transaction.
+tracesmoke: build
+	$(GO) run ./cmd/scorpiosim -bench barnes -work 50 -warmup 50 -trace /tmp/scorpio-tracesmoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/scorpio-tracesmoke.json

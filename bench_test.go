@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/traffic"
 )
 
@@ -277,6 +278,27 @@ func BenchmarkRouterThroughput(b *testing.B) {
 	}
 	opt := DefaultScorpioOptions(prof)
 	opt.WorkPerCore, opt.WarmupPerCore = 1<<40, 0 // never finishes; we count cycles
+	s, err := NewScorpioSystem(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	s.Kernel.Run(uint64(b.N))
+	b.ReportMetric(float64(b.N), "cycles")
+}
+
+// BenchmarkRouterThroughputTraced is the tracing-overhead guard: the same
+// machine as BenchmarkRouterThroughput with the lifecycle tracer attached.
+// Comparing the two bounds the cost of tracing when ON; the tracing-OFF cost
+// is pinned to zero by the alloc tests (every hook is a nil check).
+func BenchmarkRouterThroughputTraced(b *testing.B) {
+	prof, err := ProfileByName("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultScorpioOptions(prof)
+	opt.WorkPerCore, opt.WarmupPerCore = 1<<40, 0 // never finishes; we count cycles
+	opt.Obs = &obs.Options{Trace: true, TraceCapacity: 1 << 16}
 	s, err := NewScorpioSystem(opt)
 	if err != nil {
 		b.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,8 +25,29 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced workloads (CI-sized)")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+
+		tracePath  = flag.String("trace", "", "run one traced SCORPIO point and write Chrome trace-event JSON to this path")
+		metricsIvl = flag.Uint64("metrics-interval", 0, "metrics sampling interval for the traced point (0 = off)")
+		watchdog   = flag.Uint64("watchdog", 0, "arm the forward-progress watchdog on every run (cycles without progress; 0 = off)")
+		pprofPath  = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	scale := scorpio.FullScale
 	if *quick {
@@ -33,6 +55,28 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+	scale.WatchdogCycles = *watchdog
+
+	if *tracePath != "" {
+		// One dedicated traced 36-core SCORPIO run; the sweeps below stay
+		// untraced so tracing never perturbs the figures.
+		cfg := scorpio.Config{
+			Protocol: scorpio.SCORPIO, Benchmark: "barnes",
+			WorkPerCore: scale.Work, WarmupPerCore: scale.Warmup,
+			Seed: scale.Seed, WatchdogCycles: *watchdog,
+			TracePath:       *tracePath,
+			MetricsInterval: *metricsIvl,
+		}
+		if *metricsIvl > 0 {
+			cfg.MetricsPath = strings.TrimSuffix(*tracePath, ".json") + "-metrics.csv"
+		}
+		res, err := scorpio.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: traced run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("traced SCORPIO/barnes run: %d cycles, trace written to %s\n\n", res.Cycles, *tracePath)
+	}
 	effective := *workers
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)

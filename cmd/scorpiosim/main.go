@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"scorpio"
@@ -37,8 +38,30 @@ func main() {
 		noBypass = flag.Bool("no-bypass", false, "disable lookahead bypassing")
 		workers  = flag.Int("workers", 1, "simulation kernel worker goroutines (0 = GOMAXPROCS; TokenB/INSO always serial)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON lifecycle trace to this path (view in Perfetto)")
+		metricsIvl  = flag.Uint64("metrics-interval", 0, "sample live metrics every N cycles (0 = off)")
+		metricsPath = flag.String("metrics-out", "scorpio-metrics.csv", "metrics output path (.json selects JSON, else CSV)")
+		watchdog    = flag.Uint64("watchdog", 0, "abort with a network snapshot after N cycles without progress (0 = off)")
+		pprofPath   = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scorpiosim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scorpiosim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -64,6 +87,13 @@ func main() {
 		NotifBits:      *notif,
 		MaxOutstanding: *outst,
 		Workers:        *workers,
+
+		TracePath:       *tracePath,
+		MetricsInterval: *metricsIvl,
+		WatchdogCycles:  *watchdog,
+	}
+	if *metricsIvl > 0 {
+		cfg.MetricsPath = *metricsPath
 	}
 	if *nonPL {
 		pl := false
@@ -84,6 +114,10 @@ func main() {
 	fmt.Printf("runtime            %d cycles (%d to last completion)\n", res.Cycles, res.LastDone)
 	fmt.Printf("accesses           %d completed, %d measured\n", res.Completed, res.Service.Count)
 	fmt.Printf("L2 service latency %.1f cycles (hit %.1f, miss %.1f)\n", res.Service.Value(), res.HitLat.Value(), res.MissLat.Value())
+	if res.ServiceHist != nil && res.ServiceHist.Count() > 0 {
+		fmt.Printf("latency percentile p50 %d, p99 %d, max %d cycles\n",
+			res.ServiceHist.Percentile(50), res.ServiceHist.Percentile(99), res.ServiceHist.Percentile(100))
+	}
 	fmt.Printf("served by caches   %.1f%% of misses\n", 100*res.ServedByCacheFrac())
 	if res.CacheServed.Count() > 0 {
 		fmt.Printf("cache-served miss  %s\n", res.CacheServed.String())

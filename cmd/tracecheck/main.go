@@ -1,0 +1,68 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the -trace flag: it must parse, be non-empty, and contain at least one
+// transaction whose inject -> sink lifecycle is fully reconstructable.
+//
+//	tracecheck scorpio-trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`
+		Args struct {
+			Pkt uint64 `json:"pkt"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err.Error())
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail(fmt.Sprintf("%s: not valid Chrome trace-event JSON: %v", os.Args[1], err))
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail(fmt.Sprintf("%s: trace is empty", os.Args[1]))
+	}
+	injected := map[uint64]bool{}
+	spans := 0
+	complete := 0
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "b":
+			spans++
+		case ev.Ph != "i" || ev.Args.Pkt == 0:
+		case ev.Name == "inject":
+			injected[ev.Args.Pkt] = true
+		case ev.Name == "sink":
+			if injected[ev.Args.Pkt] {
+				complete++
+				delete(injected, ev.Args.Pkt) // count each packet once
+			}
+		}
+	}
+	if complete == 0 {
+		fail(fmt.Sprintf("%s: no packet has both an inject and a sink event", os.Args[1]))
+	}
+	fmt.Printf("tracecheck: %s ok — %d events, %d spans, %d packets with a full inject->sink lifecycle\n",
+		os.Args[1], len(tf.TraceEvents), spans, complete)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", msg)
+	os.Exit(1)
+}

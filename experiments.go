@@ -25,6 +25,11 @@ type Scale struct {
 	// 0 means runtime.GOMAXPROCS(0). Each point is an independent seeded
 	// simulation, so concurrency never changes a figure's numbers.
 	Workers int
+	// WatchdogCycles arms the forward-progress watchdog on every point:
+	// a run that delivers nothing for this many cycles while traffic is in
+	// flight aborts with a network snapshot instead of burning the cycle
+	// limit (0 = off).
+	WatchdogCycles uint64
 }
 
 // FullScale is the EXPERIMENTS.md reproduction scale.
@@ -45,6 +50,7 @@ func (s Scale) config(p Protocol, bench string) Config {
 		Protocol: p, Benchmark: bench,
 		WorkPerCore: s.Work, WarmupPerCore: s.Warmup,
 		Seed: s.Seed, CycleLimit: s.CycleLimit,
+		WatchdogCycles: s.WatchdogCycles,
 	}
 }
 
@@ -596,7 +602,7 @@ func ServiceLatencySummary(scale Scale) (Figure, error) {
 	fig := Figure{
 		ID:     "service",
 		Title:  "Section 5.1 headline: average L2 service latency (cycles)",
-		Series: []string{"service", "cache-served miss", "mem-served miss", "cache-served %"},
+		Series: []string{"service", "p50", "p99", "max", "cache-served miss", "mem-served miss", "cache-served %"},
 	}
 	protos := []Protocol{LPDD, HTD, SCORPIO}
 	benches := scale.pick(fig6Benchmarks)
@@ -614,16 +620,20 @@ func ServiceLatencySummary(scale Scale) (Figure, error) {
 	}
 	for pi, p := range protos {
 		var svc, cache, mem, frac stats.Mean
+		hist := stats.NewHistogram(4, 512)
 		for bi := range benches {
 			res := results[pi*len(benches)+bi]
 			svc.Observe(res.Service.Value())
 			cache.Observe(res.CacheServed.Total())
 			mem.Observe(res.MemServed.Total())
 			frac.Observe(100 * res.ServedByCacheFrac())
+			hist.Merge(res.ServiceHist)
 		}
 		fig.Rows = append(fig.Rows, FigureRow{
-			Label:  string(p),
-			Values: []float64{svc.Value(), cache.Value(), mem.Value(), frac.Value()},
+			Label: string(p),
+			Values: []float64{svc.Value(),
+				float64(hist.Percentile(50)), float64(hist.Percentile(99)), float64(hist.Percentile(100)),
+				cache.Value(), mem.Value(), frac.Value()},
 		})
 	}
 	return fig, nil

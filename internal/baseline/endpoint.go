@@ -28,6 +28,7 @@ import (
 
 	"scorpio/internal/nic"
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
@@ -72,8 +73,12 @@ type Endpoint struct {
 	pool noc.FlitPool
 
 	// Stats
+	Injected     uint64
 	Delivered    uint64
 	OrderingWait stats.Mean
+
+	// tracer is nil unless lifecycle tracing is enabled.
+	tracer *obs.Tracer
 }
 
 type reorderEntry struct {
@@ -169,6 +174,9 @@ func (r *reorderRing) grow() {
 // SetAgent attaches the consumer.
 func (e *Endpoint) SetAgent(a nic.Agent) { e.agent = a }
 
+// SetTracer attaches a lifecycle event tracer (nil disables tracing).
+func (e *Endpoint) SetTracer(t *obs.Tracer) { e.tracer = t }
+
 // SetExpirySource wires the INSO orderer's expiry broadcasts through this
 // endpoint's injection port.
 func (e *Endpoint) SetExpirySource(s interface{ TakeExpiryBroadcast(node int) bool }) {
@@ -243,6 +251,13 @@ func (e *Endpoint) receive(cycle uint64) {
 	case noc.GOReq:
 		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true, Carcass: e.pool.TakeFree()})
 		if f.Pkt.Kind != KindExpiry {
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvNetArrive, Node: int32(e.node),
+					Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID,
+					Port: -1, VNet: int8(noc.GOReq), VC: int16(f.InVC()),
+				})
+			}
 			e.reorder.put(f.Pkt.SrcSeq, reorderEntry{pkt: f.Pkt, arrive: cycle})
 		}
 	case noc.UOResp:
@@ -253,6 +268,13 @@ func (e *Endpoint) receive(cycle uint64) {
 		}
 		as.flits++
 		if f.IsTail() {
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvNetArrive, Node: int32(e.node),
+					Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID,
+					Port: -1, VNet: int8(noc.UOResp), VC: int16(f.InVC()),
+				})
+			}
 			e.doneResp.Push(f.Pkt)
 			as.pkt = nil
 			as.flits = 0
@@ -279,6 +301,18 @@ func (e *Endpoint) deliver(cycle uint64) {
 	}
 	if entry, ok := e.reorder.get(e.nextKey); ok {
 		if e.agent.AcceptOrderedRequest(entry.pkt, entry.arrive, cycle) {
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvOrderCommit, Node: int32(e.node),
+					Src: int32(entry.pkt.Src), Pkt: entry.pkt.ID, Arg: e.nextKey,
+					Port: -1, VNet: int8(noc.GOReq), VC: -1,
+				})
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvSink, Node: int32(e.node),
+					Src: int32(entry.pkt.Src), Pkt: entry.pkt.ID,
+					Port: -1, VNet: int8(noc.GOReq), VC: -1,
+				})
+			}
 			e.reorder.del(e.nextKey)
 			e.nextKey++
 			e.reorder.advance(e.nextKey)
@@ -287,8 +321,16 @@ func (e *Endpoint) deliver(cycle uint64) {
 		}
 	}
 	if !e.doneResp.Empty() {
-		if e.agent.AcceptResponse(e.doneResp.Front(), cycle) {
+		p := e.doneResp.Front()
+		if e.agent.AcceptResponse(p, cycle) {
 			e.doneResp.PopFront()
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvSink, Node: int32(e.node),
+					Src: int32(p.Src), Pkt: p.ID,
+					Port: -1, VNet: int8(noc.UOResp), VC: -1,
+				})
+			}
 		}
 	}
 }
@@ -313,6 +355,14 @@ func (e *Endpoint) inject(cycle uint64) {
 			e.tr.ClaimHeadVC(noc.GOReq, vc, p.SID)
 			e.curVC = vc
 			p.NetworkEntry = cycle
+			e.Injected++
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvInject, Node: int32(e.node),
+					Src: int32(p.Src), Pkt: p.ID, Arg: uint64(p.Flits),
+					Port: -1, VNet: int8(noc.GOReq), VC: int16(vc),
+				})
+			}
 			e.send(p, 0)
 			e.reqQ.PopFront()
 		}
@@ -324,6 +374,14 @@ func (e *Endpoint) inject(cycle uint64) {
 			e.tr.ClaimHeadVC(noc.UOResp, vc, p.SID)
 			e.curVC = vc
 			p.NetworkEntry = cycle
+			e.Injected++
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvInject, Node: int32(e.node),
+					Src: int32(p.Src), Pkt: p.ID, Arg: uint64(p.Flits),
+					Port: -1, VNet: int8(noc.UOResp), VC: int16(vc),
+				})
+			}
 			e.send(p, 0)
 			e.respQ.PopFront()
 			if p.Flits > 1 {
@@ -336,4 +394,17 @@ func (e *Endpoint) inject(cycle uint64) {
 
 func (e *Endpoint) send(p *noc.Packet, seq int) {
 	e.mesh.InjectLink(e.node).Send(e.pool.Get(p, seq, e.curVC))
+}
+
+// HasPendingWork reports whether the endpoint holds any packet that has not
+// yet reached its agent (watchdog in-flight signal).
+func (e *Endpoint) HasPendingWork() bool {
+	return e.reorder.count > 0 || e.doneResp.Len() > 0 || e.reqQ.Len() > 0 ||
+		e.respQ.Len() > 0 || e.inFlight != nil || len(e.staged) > 0 || len(e.stagedR) > 0
+}
+
+// OrderingSnapshot renders the endpoint's reorder state for watchdog dumps.
+func (e *Endpoint) OrderingSnapshot() string {
+	return fmt.Sprintf("endpoint %d: nextKey=%d reorder=%d doneResp=%d reqQ=%d respQ=%d",
+		e.node, e.nextKey, e.reorder.count, e.doneResp.Len(), e.reqQ.Len(), e.respQ.Len())
 }

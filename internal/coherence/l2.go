@@ -5,6 +5,7 @@ import (
 
 	"scorpio/internal/cache"
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/stats"
 )
 
@@ -176,7 +177,12 @@ type L2Controller struct {
 	busyUntil  uint64
 	reqIDNext  uint64
 	Stats      Stats
+	// tracer is nil unless lifecycle tracing is enabled.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a lifecycle event tracer (nil disables tracing).
+func (l *L2Controller) SetTracer(t *obs.Tracer) { l.tracer = t }
 
 // NewL2 builds a controller for the given node.
 func NewL2(node int, cfg Config, n NetPort, newID func() uint64, mm MemMap) *L2Controller {
@@ -560,6 +566,13 @@ func (l *L2Controller) report(m *mshr, cycle uint64) {
 	l.Stats.Misses++
 	l.Stats.ServiceLatency.Observe(float64(cycle - m.issue))
 	l.Stats.MissLatency.Observe(float64(cycle - m.issue))
+	if l.tracer != nil {
+		l.tracer.Record(obs.Event{
+			Cycle: cycle, Type: obs.EvMissDone, Node: int32(l.node),
+			Src: int32(l.node), Pkt: m.pkt.ID, Arg: m.addr,
+			Port: -1, VNet: -1, VC: -1,
+		})
+	}
 	if l.OnComplete == nil {
 		return
 	}
@@ -646,6 +659,13 @@ func (l *L2Controller) processCoreQueue(cycle uint64) {
 		m.pkt = &noc.Packet{
 			ID: l.newID(), VNet: noc.GOReq, Src: l.node, SID: l.node, Broadcast: true,
 			Flits: 1, Kind: int(kind), Addr: req.addr, ReqID: m.reqID, InjectCycle: cycle,
+		}
+		if l.tracer != nil {
+			l.tracer.Record(obs.Event{
+				Cycle: cycle, Type: obs.EvMissStart, Node: int32(l.node),
+				Src: int32(l.node), Pkt: m.pkt.ID, Arg: req.addr,
+				Port: -1, VNet: -1, VC: -1,
+			})
 		}
 		if !l.nic.SendRequest(m.pkt) {
 			m.wantInject = true

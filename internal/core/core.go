@@ -16,6 +16,7 @@ import (
 	"scorpio/internal/nic"
 	"scorpio/internal/noc"
 	"scorpio/internal/notif"
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
 )
 
@@ -143,6 +144,65 @@ func (o *OrderedNet) NetStats() noc.RouterStats {
 
 // Notif exposes the notification network.
 func (o *OrderedNet) Notif() *notif.Network { return o.nnet }
+
+// SetTracer attaches a lifecycle tracer to every router, NIC and the
+// notification network (nil disables tracing everywhere).
+func (o *OrderedNet) SetTracer(t *obs.Tracer) {
+	for _, m := range o.meshes {
+		m.SetTracer(t)
+	}
+	for _, n := range o.nics {
+		n.SetTracer(t)
+	}
+	o.nnet.SetTracer(t)
+}
+
+// BufferedFlits counts flits buffered in routers across all main networks.
+func (o *OrderedNet) BufferedFlits() int {
+	n := 0
+	for _, m := range o.meshes {
+		n += m.BufferedFlits()
+	}
+	return n
+}
+
+// HasPendingWork reports whether any NIC still holds undelivered packets.
+func (o *OrderedNet) HasPendingWork() bool {
+	for _, n := range o.nics {
+		if n.HasPendingWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliveredCount sums delivered requests and responses across all NICs —
+// the watchdog's forward-progress signal.
+func (o *OrderedNet) DeliveredCount() uint64 {
+	var total uint64
+	for _, n := range o.nics {
+		total += n.Stats.DeliveredRequests + n.Stats.DeliveredResponses
+	}
+	return total
+}
+
+// Snapshot renders the full network state (mesh occupancy plus every NIC's
+// ordering state) for watchdog stall dumps.
+func (o *OrderedNet) Snapshot(now uint64) string {
+	s := ""
+	for i, m := range o.meshes {
+		if len(o.meshes) > 1 {
+			s += fmt.Sprintf("main network %d:\n", i)
+		}
+		s += m.Snapshot(now)
+	}
+	for _, n := range o.nics {
+		if n.HasPendingWork() {
+			s += n.OrderingSnapshot() + "\n"
+		}
+	}
+	return s
+}
 
 // NIC returns the node's network interface controller.
 func (o *OrderedNet) NIC(node int) *nic.NIC { return o.nics[node] }

@@ -123,6 +123,18 @@ func NewL2(node int, cfg L2Config, n coherence.NetPort, newID func() uint64) *L2
 // Node returns the tile ID.
 func (l *L2) Node() int { return l.node }
 
+// Outstanding reports the number of active MSHRs (occupancy gauge for the
+// metrics sampler).
+func (l *L2) Outstanding() int {
+	n := 0
+	for i := range l.mshrs {
+		if l.mshrs[i].active {
+			n++
+		}
+	}
+	return n
+}
+
 // Array exposes the cache array (tests).
 func (l *L2) Array() *cache.Array { return l.arr }
 

@@ -22,9 +22,11 @@ package nic
 
 import (
 	"fmt"
+	"strings"
 
 	"scorpio/internal/noc"
 	"scorpio/internal/notif"
+	"scorpio/internal/obs"
 	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
@@ -207,6 +209,10 @@ type NIC struct {
 	busy         int      // ejection occupancy countdown
 	srcSeqNext   uint64   // next sequence number for own ordered requests
 	deliveredSeq []uint64 // per source: ordered requests already delivered here
+
+	// tracer is nil unless lifecycle tracing is enabled; every hook site
+	// guards on it so the disabled path is one branch.
+	tracer *obs.Tracer
 }
 
 // New builds a NIC for the given node and wires it to the two networks. The
@@ -252,6 +258,9 @@ func (n *NIC) Meshes() int { return len(n.ports) }
 
 // SetAgent attaches the tile-side consumer.
 func (n *NIC) SetAgent(a Agent) { n.agent = a }
+
+// SetTracer attaches a lifecycle event tracer (nil disables tracing).
+func (n *NIC) SetTracer(t *obs.Tracer) { n.tracer = t }
 
 // Node returns the NIC's node ID.
 func (n *NIC) Node() int { return n.node }
@@ -416,6 +425,13 @@ func (n *NIC) processNotifications(cycle uint64) {
 		if n.unannounced < 0 {
 			panic("nic: announced more requests than pending")
 		}
+		if n.tracer != nil && n.offerCount > 0 {
+			n.tracer.Record(obs.Event{
+				Cycle: cycle, Type: obs.EvNotifSend, Node: int32(n.node),
+				Src: int32(n.node), Arg: uint64(n.offerCount),
+				Port: -1, VNet: -1, VC: -1,
+			})
+		}
 		n.announcedLag = n.offerCount
 	}
 	// Expand the next vector once the current ESID sequence is exhausted.
@@ -466,6 +482,13 @@ func (n *NIC) receive(cycle uint64) {
 					panic(fmt.Sprintf("nic: node %d GO-REQ VC %d overflow", n.node, vc))
 				}
 				n.Stats.NetworkLatency.Observe(float64(cycle - f.Pkt.NetworkEntry))
+				if n.tracer != nil {
+					n.tracer.Record(obs.Event{
+						Cycle: cycle, Type: obs.EvNetArrive, Node: int32(n.node),
+						Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID,
+						Port: -1, VNet: int8(noc.GOReq), VC: int16(vc),
+					})
+				}
 				port.reqBuf[vc].Push(reqEntry{pkt: f.Pkt, arrive: cycle})
 				if !n.cfg.Ordered {
 					port.arrivalQ.Push(vc)
@@ -507,6 +530,13 @@ func (n *NIC) receive(cycle uint64) {
 					panic(fmt.Sprintf("nic: node %d UO-RESP packet %s assembled %d/%d flits", n.node, f.Pkt, as.flits, f.Pkt.Flits))
 				}
 				f.Pkt.ArriveCycle = cycle
+				if n.tracer != nil {
+					n.tracer.Record(obs.Event{
+						Cycle: cycle, Type: obs.EvNetArrive, Node: int32(n.node),
+						Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID,
+						Port: -1, VNet: int8(noc.UOResp), VC: int16(vc),
+					})
+				}
 				n.doneResp.Push(f.Pkt)
 				as.pkt = nil
 				as.flits = 0
@@ -542,6 +572,13 @@ func (n *NIC) deliver(cycle uint64) {
 				port.reqBuf[vc].PopFront()
 				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
 				n.Stats.DeliveredRequests++
+				if n.tracer != nil {
+					n.tracer.Record(obs.Event{
+						Cycle: cycle, Type: obs.EvSink, Node: int32(n.node),
+						Src: int32(e.pkt.Src), Pkt: e.pkt.ID,
+						Port: -1, VNet: int8(noc.GOReq), VC: -1,
+					})
+				}
 				delivered = true
 			}
 			break
@@ -553,6 +590,18 @@ func (n *NIC) deliver(cycle uint64) {
 		if p, arrive, ok := n.expectedPacket(run.sid); ok {
 			if n.agent.AcceptOrderedRequest(p, arrive, cycle) {
 				n.consumeExpected(run.sid)
+				if n.tracer != nil {
+					n.tracer.Record(obs.Event{
+						Cycle: cycle, Type: obs.EvOrderCommit, Node: int32(n.node),
+						Src: int32(p.Src), Pkt: p.ID, Arg: n.deliveredSeq[run.sid],
+						Port: -1, VNet: int8(noc.GOReq), VC: -1,
+					})
+					n.tracer.Record(obs.Event{
+						Cycle: cycle, Type: obs.EvSink, Node: int32(n.node),
+						Src: int32(p.Src), Pkt: p.ID,
+						Port: -1, VNet: int8(noc.GOReq), VC: -1,
+					})
+				}
 				n.deliveredSeq[run.sid]++
 				n.Stats.DeliveredRequests++
 				n.Stats.OrderingLatency.Observe(float64(cycle - arrive))
@@ -571,6 +620,13 @@ func (n *NIC) deliver(cycle uint64) {
 			n.doneResp.PopFront()
 			n.Stats.DeliveredResponses++
 			n.Stats.ResponseLatency.Observe(float64(cycle - p.InjectCycle))
+			if n.tracer != nil {
+				n.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvSink, Node: int32(n.node),
+					Src: int32(p.Src), Pkt: p.ID,
+					Port: -1, VNet: int8(noc.UOResp), VC: -1,
+				})
+			}
 			delivered = true
 		}
 	}
@@ -678,6 +734,13 @@ func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
 	port.tr.ClaimHeadVC(v, vc, p.SID)
 	port.curVC = vc
 	p.NetworkEntry = cycle
+	if n.tracer != nil {
+		n.tracer.Record(obs.Event{
+			Cycle: cycle, Type: obs.EvInject, Node: int32(n.node),
+			Src: int32(p.Src), Pkt: p.ID, Arg: uint64(p.Flits),
+			Port: -1, VNet: int8(v), VC: int16(vc),
+		})
+	}
 	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, 0, vc))
 	if p.Flits == 1 {
 		n.finishInjection(port, v)
@@ -712,6 +775,61 @@ func (n *NIC) finishInjection(port *meshPort, v noc.VNet) {
 		port.respQ.PopFront()
 		n.Stats.InjectedResponses++
 	}
+}
+
+// HasPendingWork reports whether the NIC holds any packet that has not yet
+// reached its agent: queued or in-flight sends, out-of-order held requests,
+// loopback copies, or assembled responses. The watchdog combines it with
+// router buffer occupancy to distinguish a stall from quiescence (an
+// ordering deadlock can leave the mesh empty while requests rot in NIC
+// buffers).
+func (n *NIC) HasPendingWork() bool {
+	if n.reqHold.Len() > 0 || n.loopback.Len() > 0 || n.doneResp.Len() > 0 {
+		return true
+	}
+	if len(n.stagedReq) > 0 || len(n.stagedResp) > 0 {
+		return true
+	}
+	for _, port := range n.ports {
+		if port.reqQ.Len() > 0 || port.respQ.Len() > 0 || port.inFlight != nil || port.arrivalQ.Len() > 0 {
+			return true
+		}
+		for vc := range port.reqBuf {
+			if port.reqBuf[vc].Len() > 0 {
+				return true
+			}
+		}
+		for vc := range port.respVCBuf {
+			if port.respVCBuf[vc].Len() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OrderingSnapshot renders the NIC's global-order state for watchdog dumps:
+// the committed ESID, the active ESID run, tracker/holding-buffer occupancy
+// and the per-source delivered sequence front.
+func (n *NIC) OrderingSnapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nic %d:", n.node)
+	if n.esidValid {
+		fmt.Fprintf(&b, " expecting sid=%d seq=%d", n.esidOut, n.esidSeqOut)
+	} else {
+		b.WriteString(" no active ESID sequence")
+	}
+	if n.orderActive() {
+		run := n.order[n.orderPos]
+		fmt.Fprintf(&b, " (run %d/%d: sid=%d count=%d)", n.orderPos, len(n.order), run.sid, run.count)
+	}
+	fmt.Fprintf(&b, " trackerQ=%d reqHold=%d loopback=%d doneResp=%d unannounced=%d announcedLag=%d",
+		n.trackerQ.Len(), n.reqHold.Len(), n.loopback.Len(), n.doneResp.Len(), n.unannounced, n.announcedLag)
+	for i := 0; i < n.reqHold.Len(); i++ {
+		e := n.reqHold.At(i)
+		fmt.Fprintf(&b, "\n  held: %s srcSeq=%d arrived@%d", e.pkt, e.pkt.SrcSeq, e.arrive)
+	}
+	return b.String()
 }
 
 // PendingNotifications exposes the unannounced counter (for tests).

@@ -2,7 +2,9 @@ package noc
 
 import (
 	"fmt"
+	"strings"
 
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
 )
 
@@ -163,6 +165,98 @@ func (m *Mesh) PrimeFlitPools(n int) {
 func (m *Mesh) NextPacketID() uint64 {
 	m.nextPktID++
 	return m.nextPktID
+}
+
+// SetTracer attaches a lifecycle tracer to every router (nil disables).
+func (m *Mesh) SetTracer(t *obs.Tracer) {
+	for _, r := range m.routers {
+		r.SetTracer(t)
+	}
+}
+
+// BufferedFlits counts the flits currently held in router input VCs across
+// the mesh — the watchdog's "packets in flight" signal.
+func (m *Mesh) BufferedFlits() int {
+	n := 0
+	for _, r := range m.routers {
+		r.ForEachBufferedFlit(func(Port, VNet, int, *Flit) { n++ })
+	}
+	return n
+}
+
+// Snapshot renders the full network state for stall diagnosis: every
+// occupied input VC's head flit with its age, and the credit state of the
+// output port it is waiting on. The oldest buffered flit (the likeliest
+// victim of the root cause) is named first as the culprit.
+func (m *Mesh) Snapshot(now uint64) string {
+	var b strings.Builder
+	type stuck struct {
+		r  *Router
+		p  Port
+		v  VNet
+		vc int
+		f  *Flit
+	}
+	var oldest *stuck
+	total := 0
+	for _, r := range m.routers {
+		r.ForEachBufferedFlit(func(p Port, v VNet, vc int, f *Flit) {
+			total++
+			if !f.IsHead() {
+				return
+			}
+			s := &stuck{r: r, p: p, v: v, vc: vc, f: f}
+			if oldest == nil || f.arrival < oldest.f.arrival {
+				oldest = s
+			}
+		})
+	}
+	fmt.Fprintf(&b, "mesh snapshot @cycle %d: %d flits buffered\n", now, total)
+	if oldest != nil {
+		fmt.Fprintf(&b, "culprit: router %d port %s %s vc %d holds %s (waiting %d cycles, pending ports %05b)\n",
+			oldest.r.id, oldest.p, oldest.v, oldest.vc, oldest.f.Pkt, now-oldest.f.arrival, oldest.f.outPorts)
+		for o := Port(0); o < NumPorts; o++ {
+			if oldest.f.outPorts&portMask(o) == 0 {
+				continue
+			}
+			if tr, ok := oldest.r.OutputState(o); ok {
+				fmt.Fprintf(&b, "culprit wants port %s:", o)
+				for i := 0; i < m.cfg.TotalVCs(oldest.f.Pkt.VNet); i++ {
+					fmt.Fprintf(&b, " vc%d[credits=%d busy=%t]", i, tr.Credits(oldest.f.Pkt.VNet, i), tr.Busy(oldest.f.Pkt.VNet, i))
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	// Full per-router VC occupancy with head flits and output credit state.
+	for _, r := range m.routers {
+		headerDone := false
+		r.ForEachBufferedFlit(func(p Port, v VNet, vc int, f *Flit) {
+			if !headerDone {
+				fmt.Fprintf(&b, "router %d:\n", r.id)
+				headerDone = true
+			}
+			fmt.Fprintf(&b, "  in %s %s vc%d: %s seq=%d age=%d pending=%05b\n",
+				p, v, vc, f.Pkt, f.Seq, now-f.arrival, f.outPorts)
+		})
+		if !headerDone {
+			continue
+		}
+		for o := Port(0); o < NumPorts; o++ {
+			tr, ok := r.OutputState(o)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  out %s credits:", o)
+			for v := VNet(0); v < NumVNets; v++ {
+				for i := 0; i < m.cfg.TotalVCs(v); i++ {
+					fmt.Fprintf(&b, " %s/vc%d=%d", v, i, tr.Credits(v, i))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // Stats sums router statistics across the mesh.

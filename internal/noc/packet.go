@@ -84,6 +84,11 @@ func NewFlit(p *Packet, seq, vc int) *Flit {
 // InVC returns the input virtual channel the sender assigned to the flit.
 func (f *Flit) InVC() int { return f.inVC }
 
+// Arrival returns the cycle the flit was written into its current input
+// buffer (diagnostics: watchdog snapshots report how long a flit has been
+// stuck).
+func (f *Flit) Arrival() uint64 { return f.arrival }
+
 // IsHead reports whether the flit carries the packet header.
 func (f *Flit) IsHead() bool { return f.Seq == 0 }
 

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"scorpio/internal/obs"
 	"scorpio/internal/ring"
 )
 
@@ -90,7 +91,13 @@ type Router struct {
 	pool  FlitPool
 	Stats RouterStats
 	now   uint64
+	// tracer is nil unless lifecycle tracing is enabled; every hook site
+	// guards on it so the disabled path is one branch.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a lifecycle event tracer (nil disables tracing).
+func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
 
 // newRouter builds a router; links are attached by the mesh.
 func newRouter(cfg Config, id int, esid func(node int) (int, uint64, bool)) *Router {
@@ -159,6 +166,13 @@ func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
 	vc.q.Push(f)
 	r.Stats.FlitsAccepted++
 	r.Stats.BufferWrites++
+	if r.tracer != nil {
+		r.tracer.Record(obs.Event{
+			Cycle: r.now, Type: obs.EvBufWrite, Node: int32(r.id),
+			Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID, Arg: uint64(f.Seq),
+			Port: int8(p), VNet: int8(vnet), VC: int16(f.inVC),
+		})
+	}
 }
 
 // routeUnicast implements dimension-ordered XY routing.
@@ -453,6 +467,13 @@ func (r *Router) claim(c *candidate, o Port) (grant, bool) {
 			return grant{}, false
 		}
 		ou.tr.ClaimHeadVC(f.Pkt.VNet, vcIdx, f.Pkt.SID)
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{
+				Cycle: r.now, Type: obs.EvVCAlloc, Node: int32(r.id),
+				Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID, Arg: uint64(vcIdx),
+				Port: int8(o), VNet: int8(f.Pkt.VNet), VC: int16(vcIdx),
+			})
+		}
 		return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, flit: f, out: o, dstVC: vcIdx, isHead: true}, true
 	}
 	if !ou.tr.CanSendBody(f.Pkt.VNet, c.vc.outVC) {
@@ -474,6 +495,17 @@ func (r *Router) traverse(g grant) {
 	r.Stats.BufferReads++
 	if g.flit.bypassCandidate {
 		r.Stats.Bypasses++
+	}
+	if r.tracer != nil {
+		ty := obs.EvSAGrant
+		if g.flit.bypassCandidate {
+			ty = obs.EvBypass
+		}
+		r.tracer.Record(obs.Event{
+			Cycle: r.now, Type: ty, Node: int32(r.id),
+			Src: int32(g.flit.Pkt.Src), Pkt: g.flit.Pkt.ID, Arg: uint64(g.out),
+			Port: int8(g.out), VNet: int8(g.vnet), VC: int16(g.dstVC),
+		})
 	}
 }
 

@@ -11,7 +11,11 @@
 // decentralised global order possible.
 package notif
 
-import "fmt"
+import (
+	"fmt"
+
+	"scorpio/internal/obs"
+)
 
 // Config describes a notification network.
 type Config struct {
@@ -125,6 +129,9 @@ type Network struct {
 	// Stats
 	WindowsDelivered uint64
 	StoppedWindows   uint64
+
+	// tracer is nil unless lifecycle tracing is enabled.
+	tracer *obs.Tracer
 }
 
 // NewNetwork builds a notification network.
@@ -149,6 +156,9 @@ func (n *Network) Config() Config { return n.cfg }
 
 // AttachSource registers the node's NIC as a notification source.
 func (n *Network) AttachSource(node int, s Source) { n.sources[node] = s }
+
+// SetTracer attaches a lifecycle event tracer (nil disables tracing).
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
 
 // WindowStart reports whether the given cycle begins a time window. Sources
 // use it to know when their committed offer is consumed.
@@ -226,6 +236,16 @@ func (n *Network) Commit(cycle uint64) {
 			n.WindowsDelivered++
 			if n.delivered.Stop {
 				n.StoppedWindows++
+			}
+			if n.tracer != nil {
+				stop := int8(0)
+				if n.delivered.Stop {
+					stop = 1
+				}
+				n.tracer.Record(obs.Event{
+					Cycle: cycle, Type: obs.EvNotifWindow, Node: -1, Src: -1,
+					Arg: uint64(n.delivered.Total()), Port: stop, VNet: -1, VC: -1,
+				})
 			}
 		}
 		n.pendingHas = false

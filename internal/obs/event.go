@@ -1,0 +1,90 @@
+package obs
+
+// EventType identifies a point in a flit/transaction lifecycle. The taxonomy
+// follows the pipeline a SCORPIO request traverses: injection at the source
+// NIC, per-hop buffer write / VC allocation / switch grant (or bypass) inside
+// routers, arrival at the destination NIC, the notification-network window
+// that globally orders it, the order-commit when the NIC hands it to the
+// cache in global order, and the final sink. Coherence-level miss start/done
+// events bracket the whole transaction.
+type EventType uint8
+
+const (
+	// EvInject: a packet's head flit enters the network at its source NIC
+	// (or baseline endpoint). Arg carries the packet's flit count.
+	EvInject EventType = iota
+	// EvBufWrite: a router wrote a flit into an input VC buffer. Arg is the
+	// packet's flit sequence number (0 = head).
+	EvBufWrite
+	// EvVCAlloc: a head flit won a downstream virtual channel. Arg is the
+	// downstream VC index.
+	EvVCAlloc
+	// EvSAGrant: switch allocation granted; the flit crosses the crossbar
+	// this cycle. Arg is the output port.
+	EvSAGrant
+	// EvBypass: the flit took the single-cycle lookahead bypass instead of
+	// the buffered pipeline. Arg is the output port.
+	EvBypass
+	// EvNetArrive: the packet reached its destination NIC's receive path.
+	EvNetArrive
+	// EvNotifSend: a NIC broadcast a notification for an injected GO-REQ
+	// packet. Arg is the number of notification slots debited this window.
+	EvNotifSend
+	// EvNotifWindow: the notification network delivered an aggregated
+	// window. Node is -1 (network-global); Arg is the total notification
+	// count in the window; Port is 1 if the window carried a stop signal.
+	EvNotifWindow
+	// EvOrderCommit: an ordered request was consumed in global order at a
+	// NIC (or baseline endpoint). Arg is the global sequence number.
+	EvOrderCommit
+	// EvSink: the packet left the network layer for good (delivered to the
+	// coherence agent, or a response retired).
+	EvSink
+	// EvMissStart: the L2 allocated an MSHR for a core miss. Arg is the
+	// line address.
+	EvMissStart
+	// EvMissDone: the L2 completed an outstanding miss. Arg is the line
+	// address.
+	EvMissDone
+
+	numEventTypes
+)
+
+var eventNames = [numEventTypes]string{
+	EvInject:      "inject",
+	EvBufWrite:    "buf-write",
+	EvVCAlloc:     "vc-alloc",
+	EvSAGrant:     "sa-grant",
+	EvBypass:      "bypass",
+	EvNetArrive:   "net-arrive",
+	EvNotifSend:   "notif-send",
+	EvNotifWindow: "notif-window",
+	EvOrderCommit: "order-commit",
+	EvSink:        "sink",
+	EvMissStart:   "miss-start",
+	EvMissDone:    "miss-done",
+}
+
+// String returns the stable lowercase name used in trace output.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// Event is one fixed-size lifecycle record. Fields that do not apply to a
+// given event type are zero (or -1 for Node on network-global events). The
+// struct is flat and pointer-free so a preallocated ring of them stays out
+// of the garbage collector's way entirely.
+type Event struct {
+	Cycle uint64
+	Pkt   uint64 // per-stream packet ID (0 when not packet-scoped)
+	Arg   uint64 // type-specific payload (see EventType docs)
+	Node  int32  // router/NIC node index, -1 for network-global
+	Src   int32  // packet source node, -1 when unknown
+	Type  EventType
+	Port  int8 // router port, -1 when not port-scoped
+	VNet  int8 // virtual network, -1 when not VC-scoped
+	VC    int16
+}

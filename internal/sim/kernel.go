@@ -41,6 +41,8 @@ type Kernel struct {
 	workers int
 	dirty   bool // shards stale: registration or worker count changed
 	pool    *workerPool
+
+	observer func(cycle uint64)
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -96,20 +98,33 @@ func (k *Kernel) Cycle() uint64 {
 	return k.cycle
 }
 
+// SetObserver installs a function called after every Step's commit phase
+// with the cycle just executed. It runs on the driving goroutine after all
+// workers have barriered, so it may freely read committed component state —
+// the observability layer's sampling and watchdog point. Pass nil to remove
+// it; when nil the per-step cost is a single branch.
+func (k *Kernel) SetObserver(fn func(cycle uint64)) {
+	k.observer = fn
+}
+
 // Step executes exactly one cycle: all Evaluates, then all Commits.
 func (k *Kernel) Step() {
+	cyc := k.cycle
 	if p := k.parallelPool(); p != nil {
-		p.phase(k.cycle, false)
-		p.phase(k.cycle, true)
+		p.phase(cyc, false)
+		p.phase(cyc, true)
 	} else {
 		for _, c := range k.components {
-			c.Evaluate(k.cycle)
+			c.Evaluate(cyc)
 		}
 		for _, c := range k.components {
-			c.Commit(k.cycle)
+			c.Commit(cyc)
 		}
 	}
 	k.cycle++
+	if k.observer != nil {
+		k.observer(cyc)
+	}
 }
 
 // Run executes n cycles. Worker goroutines (if any) are released on return.

@@ -84,6 +84,59 @@ func TestKernelOrderIndependence(t *testing.T) {
 	}
 }
 
+func TestKernelObserver(t *testing.T) {
+	k := NewKernel()
+	c := &counter{}
+	k.Register(c)
+	var cycles []uint64
+	var valueAtObserve []int
+	k.SetObserver(func(cycle uint64) {
+		cycles = append(cycles, cycle)
+		valueAtObserve = append(valueAtObserve, c.value)
+	})
+	k.Run(3)
+	if len(cycles) != 3 || cycles[0] != 0 || cycles[2] != 2 {
+		t.Fatalf("observer cycles = %v, want [0 1 2]", cycles)
+	}
+	// The observer runs after commit: it must see the just-latched state.
+	for i, v := range valueAtObserve {
+		if v != i+1 {
+			t.Fatalf("observer at cycle %d saw value %d, want %d (post-commit)", cycles[i], v, i+1)
+		}
+	}
+	k.SetObserver(nil)
+	k.Step()
+	if len(cycles) != 3 {
+		t.Fatal("removed observer still fired")
+	}
+}
+
+func TestKernelObserverParallel(t *testing.T) {
+	// The observer must fire once per step with committed state visible even
+	// when the worker pool executes the phases.
+	k := NewKernel()
+	var comps []*counter
+	for i := 0; i < 16; i++ {
+		c := &counter{}
+		comps = append(comps, c)
+		k.Register(c)
+	}
+	k.SetWorkers(4)
+	fired := 0
+	k.SetObserver(func(cycle uint64) {
+		fired++
+		for _, c := range comps {
+			if c.value != int(cycle)+1 {
+				t.Fatalf("cycle %d: observer saw uncommitted value %d", cycle, c.value)
+			}
+		}
+	})
+	k.Run(5)
+	if fired != 5 {
+		t.Fatalf("observer fired %d times, want 5", fired)
+	}
+}
+
 func TestKernelRunUntil(t *testing.T) {
 	k := NewKernel()
 	c := &counter{}

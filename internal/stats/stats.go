@@ -95,7 +95,11 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Max() uint64 { return h.max }
 
 // Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
-// using bucket upper edges; overflow samples report the observed maximum.
+// using bucket upper edges. When the target rank lands in the overflow
+// region (samples beyond the last bucket), the result interpolates between
+// the last bucket edge and the observed maximum proportionally to the
+// rank's position within the overflow count, rather than collapsing every
+// overflow percentile to the maximum.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
@@ -104,6 +108,9 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	if target == 0 {
 		target = 1
 	}
+	if target > h.count {
+		target = h.count
+	}
 	var seen uint64
 	for i, b := range h.Buckets {
 		seen += b
@@ -111,7 +118,35 @@ func (h *Histogram) Percentile(p float64) uint64 {
 			return uint64(i+1) * h.BucketWidth
 		}
 	}
-	return h.max
+	// The rank is one of the h.Overflow samples past the last bucket.
+	edge := uint64(len(h.Buckets)) * h.BucketWidth
+	if h.Overflow == 0 || h.max <= edge {
+		return h.max
+	}
+	pos := target - (h.count - h.Overflow) // 1..Overflow
+	frac := float64(pos) / float64(h.Overflow)
+	return edge + uint64(frac*float64(h.max-edge)+0.5)
+}
+
+// Merge folds other into h. Both histograms must share the same bucket
+// geometry; Merge panics otherwise, since silently mixing widths would
+// corrupt every percentile.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.BucketWidth != other.BucketWidth || len(h.Buckets) != len(other.Buckets) {
+		panic("stats: merging histograms with different bucket geometry")
+	}
+	for i, b := range other.Buckets {
+		h.Buckets[i] += b
+	}
+	h.Overflow += other.Overflow
+	h.sum += other.sum
+	h.count += other.count
+	if other.max > h.max {
+		h.max = other.max
+	}
 }
 
 // BreakdownComponent identifies one segment of the L2-miss latency breakdown

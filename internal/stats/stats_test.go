@@ -58,6 +58,91 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileOverflow(t *testing.T) {
+	// 10 samples, all in overflow: 5 buckets of width 10 cover [0,50), every
+	// sample is ≥ 100. Percentiles must spread between the bucket edge (50)
+	// and the max (1000) instead of collapsing to the max.
+	h := NewHistogram(10, 5)
+	for i := uint64(1); i <= 10; i++ {
+		h.Observe(100 * i)
+	}
+	if h.Overflow != 10 {
+		t.Fatalf("overflow = %d, want 10", h.Overflow)
+	}
+	p10 := h.Percentile(10)
+	p50 := h.Percentile(50)
+	p100 := h.Percentile(100)
+	if p100 != 1000 {
+		t.Fatalf("p100 = %d, want observed max 1000", p100)
+	}
+	if p10 >= p100 || p50 >= p100 {
+		t.Fatalf("overflow percentiles collapsed to max: p10=%d p50=%d p100=%d", p10, p50, p100)
+	}
+	if p10 <= 50 || p10 > p50 {
+		t.Fatalf("p10=%d should interpolate above the bucket edge and below p50=%d", p10, p50)
+	}
+}
+
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	// Empty histogram: every percentile is 0.
+	h := NewHistogram(10, 5)
+	for _, p := range []float64{0.001, 50, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty histogram p%v = %d, want 0", p, got)
+		}
+	}
+	// p→0 clamps to the first sample's bucket, not to rank 0.
+	h.Observe(5)
+	h.Observe(45)
+	if got := h.Percentile(0.001); got != 10 {
+		t.Fatalf("p→0 = %d, want first bucket upper edge 10", got)
+	}
+	// A single overflow sample: interpolation degenerates to the max.
+	h2 := NewHistogram(10, 5)
+	h2.Observe(777)
+	if got := h2.Percentile(50); got != 777 {
+		t.Fatalf("single-overflow p50 = %d, want 777", got)
+	}
+	// Overflow sample exactly at the bucket edge: no room to interpolate.
+	h3 := NewHistogram(10, 5)
+	h3.Observe(50)
+	if got := h3.Percentile(100); got != 50 {
+		t.Fatalf("edge-overflow p100 = %d, want 50", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	for _, v := range []uint64{1, 11, 49} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{12, 1000} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 5 || a.Overflow != 1 || a.Max() != 1000 {
+		t.Fatalf("merge: count=%d overflow=%d max=%d", a.Count(), a.Overflow, a.Max())
+	}
+	if p := a.Percentile(50); p != 20 {
+		t.Fatalf("merged p50 = %d, want 20", p)
+	}
+	// Merging an empty histogram is a no-op even with mismatched geometry.
+	a.Merge(NewHistogram(99, 1))
+	if a.Count() != 5 {
+		t.Fatal("empty merge changed count")
+	}
+	// Mismatched geometry with samples must panic.
+	bad := NewHistogram(99, 1)
+	bad.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry-mismatched merge did not panic")
+		}
+	}()
+	a.Merge(bad)
+}
+
 func TestHistogramPercentileMonotonic(t *testing.T) {
 	h := NewHistogram(5, 40)
 	if err := quick.Check(func(raw []uint16) bool {

@@ -7,7 +7,9 @@ import (
 	"scorpio/internal/coherence"
 	"scorpio/internal/mem"
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
+	"scorpio/internal/stats"
 	"scorpio/internal/trace"
 )
 
@@ -44,6 +46,8 @@ type BaselineOptions struct {
 	MaxOutstanding int
 	Seed           uint64
 	MCNodes        []int
+	// Obs enables tracing, metrics sampling and the watchdog (nil = off).
+	Obs *obs.Options
 }
 
 // DefaultBaselineOptions mirrors the paper's 16-core Figure 7 setup.
@@ -75,6 +79,7 @@ type Baseline struct {
 	L2s       []*coherence.L2Controller
 	INSO      *baseline.INSO // nil for TokenB
 	Injectors []*trace.Injector
+	Obs       *Observability
 }
 
 // NewBaseline builds the machine. Baseline machines always run on the serial
@@ -143,6 +148,52 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		k.Register(ep)
 	}
 	mesh.Register(k)
+	b.Obs = buildObs(opt.Obs, k,
+		func(c *counters) {
+			for _, ep := range b.Endpoints {
+				c.injected += ep.Injected
+				c.ejected += ep.Delivered
+			}
+			ns := mesh.Stats()
+			c.flitsRouted, c.bypasses, c.allocStalls = ns.FlitsRouted, ns.Bypasses, ns.AllocStalls
+		},
+		func() (int, int) {
+			out := 0
+			for _, l2 := range b.L2s {
+				out += l2.Outstanding()
+			}
+			return mesh.BufferedFlits(), out
+		},
+		func() bool {
+			if mesh.BufferedFlits() > 0 {
+				return true
+			}
+			for _, ep := range b.Endpoints {
+				if ep.HasPendingWork() {
+					return true
+				}
+			}
+			return false
+		},
+		func(now uint64) string {
+			s := mesh.Snapshot(now)
+			for _, ep := range b.Endpoints {
+				if ep.HasPendingWork() {
+					s += ep.OrderingSnapshot() + "\n"
+				}
+			}
+			return s
+		},
+	)
+	if b.Obs != nil && b.Obs.Tracer != nil {
+		mesh.SetTracer(b.Obs.Tracer)
+		for _, ep := range b.Endpoints {
+			ep.SetTracer(b.Obs.Tracer)
+		}
+		for _, l2 := range b.L2s {
+			l2.SetTracer(b.Obs.Tracer)
+		}
+	}
 	return b, nil
 }
 
@@ -156,24 +207,39 @@ func (b *Baseline) Done() bool {
 	return true
 }
 
-// Run executes to completion and collects results.
+// Run executes to completion and collects results. A watchdog stall aborts
+// the run with the full network snapshot in the error.
 func (b *Baseline) Run(limit uint64) (Results, error) {
-	if !b.Kernel.RunUntil(b.Done, limit) {
-		var done uint64
+	done := b.Done
+	if b.Obs != nil && b.Obs.Watchdog != nil {
+		done = func() bool { return b.Obs.Stalled() || b.Done() }
+	}
+	finished := b.Kernel.RunUntil(done, limit)
+	if b.Obs.Stalled() {
+		return Results{}, fmt.Errorf("system: %s/%s stalled\n%s",
+			b.opt.Scheme, b.opt.Profile.Name, b.Obs.StallReport())
+	}
+	if !finished {
+		var completed uint64
 		for _, in := range b.Injectors {
-			done += in.Completed
+			completed += in.Completed
 		}
 		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
-			b.opt.Scheme, b.opt.Profile.Name, limit, done)
+			b.opt.Scheme, b.opt.Profile.Name, limit, completed)
 	}
+	b.Obs.finishHeatmap(b.Mesh, b.Kernel.Cycle())
 	name := b.opt.Scheme.String()
 	if b.opt.Scheme == SchemeINSO {
 		name = fmt.Sprintf("INSO-%d", b.opt.ExpiryWindow)
 	}
-	r := Results{Protocol: name, Benchmark: b.opt.Profile.Name, Cycles: b.Kernel.Cycle()}
+	r := Results{Protocol: name, Benchmark: b.opt.Profile.Name, Cycles: b.Kernel.Cycle(), Obs: b.Obs}
+	if len(b.Injectors) > 0 {
+		r.ServiceHist = stats.NewHistogram(4, 512)
+	}
 	for _, in := range b.Injectors {
 		r.Completed += in.Completed
 		r.Service.Merge(in.ServiceLatency)
+		r.ServiceHist.Merge(in.ServiceHist)
 		r.HitLat.Merge(in.HitLatency)
 		r.MissLat.Merge(in.MissLatency)
 		r.CacheServed.Merge(in.CacheServed)

@@ -7,7 +7,9 @@ import (
 	"scorpio/internal/directory"
 	"scorpio/internal/nic"
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
+	"scorpio/internal/stats"
 	"scorpio/internal/trace"
 )
 
@@ -32,6 +34,8 @@ type DirectoryOptions struct {
 	Seed           uint64
 	// Workers mirrors Options.Workers (0 or 1 = serial kernel).
 	Workers int
+	// Obs enables tracing, metrics sampling and the watchdog (nil = off).
+	Obs *obs.Options
 }
 
 // DefaultDirectoryOptions mirrors DefaultOptions for a directory baseline.
@@ -120,6 +124,7 @@ type Directory struct {
 	L2s       []*directory.L2
 	Homes     []*directory.Home
 	Injectors []*trace.Injector
+	Obs       *Observability
 }
 
 // NewDirectory builds the baseline machine.
@@ -158,6 +163,49 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 	}
 	mesh.Register(k)
 	k.SetWorkers(opt.Workers)
+	d.Obs = buildObs(opt.Obs, k,
+		func(c *counters) {
+			for _, n := range d.NICs {
+				c.injected += n.Stats.InjectedRequests + n.Stats.InjectedResponses
+				c.ejected += n.Stats.DeliveredRequests + n.Stats.DeliveredResponses
+			}
+			ns := mesh.Stats()
+			c.flitsRouted, c.bypasses, c.allocStalls = ns.FlitsRouted, ns.Bypasses, ns.AllocStalls
+		},
+		func() (int, int) {
+			out := 0
+			for _, l2 := range d.L2s {
+				out += l2.Outstanding()
+			}
+			return mesh.BufferedFlits(), out
+		},
+		func() bool {
+			if mesh.BufferedFlits() > 0 {
+				return true
+			}
+			for _, n := range d.NICs {
+				if n.HasPendingWork() {
+					return true
+				}
+			}
+			return false
+		},
+		func(now uint64) string {
+			s := mesh.Snapshot(now)
+			for _, n := range d.NICs {
+				if n.HasPendingWork() {
+					s += n.OrderingSnapshot() + "\n"
+				}
+			}
+			return s
+		},
+	)
+	if d.Obs != nil && d.Obs.Tracer != nil {
+		mesh.SetTracer(d.Obs.Tracer)
+		for _, n := range d.NICs {
+			n.SetTracer(d.Obs.Tracer)
+		}
+	}
 	return d, nil
 }
 
@@ -171,24 +219,39 @@ func (d *Directory) Done() bool {
 	return true
 }
 
-// Run executes to completion and collects results.
+// Run executes to completion and collects results. A watchdog stall aborts
+// the run with the full network snapshot in the error.
 func (d *Directory) Run(limit uint64) (Results, error) {
-	if !d.Kernel.RunUntil(d.Done, limit) {
-		var done uint64
+	done := d.Done
+	if d.Obs != nil && d.Obs.Watchdog != nil {
+		done = func() bool { return d.Obs.Stalled() || d.Done() }
+	}
+	finished := d.Kernel.RunUntil(done, limit)
+	if d.Obs.Stalled() {
+		return Results{}, fmt.Errorf("system: %s/%s stalled\n%s",
+			d.opt.Variant, d.opt.Profile.Name, d.Obs.StallReport())
+	}
+	if !finished {
+		var completed uint64
 		for _, in := range d.Injectors {
-			done += in.Completed
+			completed += in.Completed
 		}
 		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
-			d.opt.Variant, d.opt.Profile.Name, limit, done)
+			d.opt.Variant, d.opt.Profile.Name, limit, completed)
 	}
+	d.Obs.finishHeatmap(d.Mesh, d.Kernel.Cycle())
 	return d.collect(), nil
 }
 
 func (d *Directory) collect() Results {
-	r := Results{Protocol: d.opt.Variant.String(), Benchmark: d.opt.Profile.Name, Cycles: d.Kernel.Cycle()}
+	r := Results{Protocol: d.opt.Variant.String(), Benchmark: d.opt.Profile.Name, Cycles: d.Kernel.Cycle(), Obs: d.Obs}
+	if len(d.Injectors) > 0 {
+		r.ServiceHist = stats.NewHistogram(4, 512)
+	}
 	for _, in := range d.Injectors {
 		r.Completed += in.Completed
 		r.Service.Merge(in.ServiceLatency)
+		r.ServiceHist.Merge(in.ServiceHist)
 		r.HitLat.Merge(in.HitLatency)
 		r.MissLat.Merge(in.MissLatency)
 		r.CacheServed.Merge(in.CacheServed)

@@ -1,0 +1,119 @@
+package system
+
+import (
+	"scorpio/internal/noc"
+	"scorpio/internal/obs"
+	"scorpio/internal/sim"
+)
+
+// metricsColumns is the live time-series schema shared by every machine.
+// Counter columns report the delta since the previous sample (rates);
+// buffered_flits and outstanding are occupancy gauges sampled instantly.
+var metricsColumns = []string{
+	"injected", "ejected", "buffered_flits",
+	"flits_routed", "bypasses", "alloc_stalls",
+	"notif_windows", "outstanding",
+}
+
+// counters is one machine-wide reading of the cumulative activity counters
+// that back the metrics time series.
+type counters struct {
+	injected, ejected     uint64
+	flitsRouted, bypasses uint64
+	allocStalls           uint64
+	notifWindows          uint64
+}
+
+// Observability bundles one run's enabled observability features: the
+// lifecycle tracer (threaded through routers, NICs, notification network and
+// coherence controllers), the periodic metrics sampler, and the
+// forward-progress watchdog. A nil *Observability means everything is off.
+type Observability struct {
+	Tracer   *obs.Tracer
+	Metrics  *obs.Metrics
+	Watchdog *obs.Watchdog
+}
+
+// Stalled reports whether the watchdog detected a stall. Safe on nil.
+func (o *Observability) Stalled() bool { return o != nil && o.Watchdog.Stalled() }
+
+// StallReport returns the watchdog's diagnosis ("" when healthy).
+func (o *Observability) StallReport() string {
+	if o == nil {
+		return ""
+	}
+	return o.Watchdog.Report()
+}
+
+// buildObs assembles the bundle for one machine and installs it as the
+// kernel's post-commit observer. Returns nil (and installs nothing) when
+// opt enables no feature, keeping the disabled per-step cost at the
+// kernel's single observer nil-check.
+//
+//   - read fills one counters reading from the machine's cumulative stats.
+//   - occupancy returns (buffered flits in routers, outstanding misses).
+//   - inflight reports whether undelivered packets exist anywhere (router
+//     buffers or NIC/endpoint queues).
+//   - snapshot renders the full network state at a cycle.
+func buildObs(opt *obs.Options, k *sim.Kernel,
+	read func(*counters),
+	occupancy func() (buffered, outstanding int),
+	inflight func() bool,
+	snapshot func(now uint64) string) *Observability {
+
+	if opt == nil || !opt.Enabled() {
+		return nil
+	}
+	o := &Observability{}
+	if opt.Trace {
+		o.Tracer = obs.NewTracer(opt.TraceCapacity)
+	}
+	if opt.MetricsInterval > 0 {
+		o.Metrics = obs.NewMetrics(opt.MetricsInterval, metricsColumns)
+	}
+	if opt.Watchdog > 0 {
+		progress := func() (uint64, bool) {
+			var c counters
+			read(&c)
+			return c.ejected, inflight()
+		}
+		o.Watchdog = obs.NewWatchdog(opt.Watchdog, progress, func() string {
+			return snapshot(k.Cycle())
+		})
+	}
+	var prev counters
+	row := make([]float64, len(metricsColumns))
+	k.SetObserver(func(cycle uint64) {
+		o.Watchdog.Observe(cycle)
+		if o.Metrics.Due(cycle) {
+			var c counters
+			read(&c)
+			buffered, outstanding := occupancy()
+			row[0] = float64(c.injected - prev.injected)
+			row[1] = float64(c.ejected - prev.ejected)
+			row[2] = float64(buffered)
+			row[3] = float64(c.flitsRouted - prev.flitsRouted)
+			row[4] = float64(c.bypasses - prev.bypasses)
+			row[5] = float64(c.allocStalls - prev.allocStalls)
+			row[6] = float64(c.notifWindows - prev.notifWindows)
+			row[7] = float64(outstanding)
+			o.Metrics.Add(cycle, row)
+			prev = c
+		}
+	})
+	return o
+}
+
+// finishHeatmap attaches the end-of-run per-router utilization grid
+// (crossbar traversals per cycle) to the metrics store.
+func (o *Observability) finishHeatmap(mesh *noc.Mesh, cycles uint64) {
+	if o == nil || o.Metrics == nil || cycles == 0 {
+		return
+	}
+	cfg := mesh.Config()
+	util := make([]float64, cfg.Nodes())
+	for node := 0; node < cfg.Nodes(); node++ {
+		util[node] = float64(mesh.Router(node).Stats.FlitsRouted) / float64(cycles)
+	}
+	o.Metrics.SetHeatmap(cfg.Width, cfg.Height, util)
+}

@@ -12,6 +12,7 @@ import (
 	"scorpio/internal/core"
 	"scorpio/internal/mem"
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 	"scorpio/internal/tile"
@@ -48,6 +49,9 @@ type Options struct {
 	// Workers sets the kernel's parallel worker count; 0 or 1 runs the
 	// classic serial tick loop. Results are identical either way.
 	Workers int
+	// Obs selects observability features (tracing, metrics, watchdog);
+	// nil disables everything at zero per-step cost.
+	Obs *obs.Options
 }
 
 // packetIDStream returns an allocator of packet IDs private to one issuing
@@ -145,6 +149,7 @@ type Scorpio struct {
 	MCs       []*mem.Controller
 	Tiles     []*tile.Tile // populated when Options.UseL1 is set
 	Injectors []*trace.Injector
+	Obs       *Observability // nil unless Options.Obs enabled something
 }
 
 // NewScorpio builds the machine with trace injectors attached.
@@ -232,6 +237,33 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 		k.RegisterGroup(node, l2)
 	}
 	k.SetWorkers(opt.Workers)
+	s.Obs = buildObs(opt.Obs, k,
+		func(c *counters) {
+			for node := 0; node < nodes; node++ {
+				st := &net.NIC(node).Stats
+				c.injected += st.InjectedRequests + st.InjectedResponses
+				c.ejected += st.DeliveredRequests + st.DeliveredResponses
+			}
+			ns := net.NetStats()
+			c.flitsRouted, c.bypasses, c.allocStalls = ns.FlitsRouted, ns.Bypasses, ns.AllocStalls
+			c.notifWindows = net.Notif().WindowsDelivered
+		},
+		func() (int, int) {
+			out := 0
+			for _, l2 := range s.L2s {
+				out += l2.Outstanding()
+			}
+			return net.BufferedFlits(), out
+		},
+		func() bool { return net.BufferedFlits() > 0 || net.HasPendingWork() },
+		net.Snapshot,
+	)
+	if s.Obs != nil && s.Obs.Tracer != nil {
+		net.SetTracer(s.Obs.Tracer)
+		for _, l2 := range s.L2s {
+			l2.SetTracer(s.Obs.Tracer)
+		}
+	}
 	return s, nil
 }
 
@@ -246,9 +278,17 @@ func (s *Scorpio) Done() bool {
 }
 
 // Run executes until all work completes or the cycle limit is reached and
-// returns the collected results.
+// returns the collected results. A watchdog stall aborts the run with the
+// full network snapshot in the error.
 func (s *Scorpio) Run(limit uint64) (Results, error) {
-	finished := s.Kernel.RunUntil(s.Done, limit)
+	done := s.Done
+	if s.Obs != nil && s.Obs.Watchdog != nil {
+		done = func() bool { return s.Obs.Stalled() || s.Done() }
+	}
+	finished := s.Kernel.RunUntil(done, limit)
+	if s.Obs.Stalled() {
+		return Results{}, fmt.Errorf("system: %s stalled\n%s", s.opt.Profile.Name, s.Obs.StallReport())
+	}
 	if !finished {
 		return Results{}, fmt.Errorf("system: %s did not finish %d accesses/core within %d cycles (completed %d)",
 			s.opt.Profile.Name, s.opt.WorkPerCore, limit, s.completed())
@@ -256,6 +296,7 @@ func (s *Scorpio) Run(limit uint64) (Results, error) {
 	if err := s.Net.VerifyGlobalOrder(); err != nil {
 		return Results{}, err
 	}
+	s.Obs.finishHeatmap(s.Net.Mesh(), s.Kernel.Cycle())
 	return s.collect(), nil
 }
 
@@ -269,10 +310,14 @@ func (s *Scorpio) completed() uint64 {
 
 // collect aggregates per-core statistics into Results.
 func (s *Scorpio) collect() Results {
-	r := Results{Protocol: "SCORPIO", Benchmark: s.opt.Profile.Name, Cycles: s.Kernel.Cycle()}
+	r := Results{Protocol: "SCORPIO", Benchmark: s.opt.Profile.Name, Cycles: s.Kernel.Cycle(), Obs: s.Obs}
+	if len(s.Injectors) > 0 {
+		r.ServiceHist = stats.NewHistogram(4, 512)
+	}
 	for _, in := range s.Injectors {
 		r.Completed += in.Completed
 		r.Service.Merge(in.ServiceLatency)
+		r.ServiceHist.Merge(in.ServiceHist)
 		r.HitLat.Merge(in.HitLatency)
 		r.MissLat.Merge(in.MissLatency)
 		r.CacheServed.Merge(in.CacheServed)
@@ -332,6 +377,14 @@ type Results struct {
 	Bypasses      uint64
 	OrderingLat   stats.Mean
 	ReqNetworkLat stats.Mean
+
+	// ServiceHist is the full service-latency distribution (percentiles);
+	// merged across cores. Nil for machines without injectors.
+	ServiceHist *stats.Histogram
+
+	// Obs carries the run's observability artifacts (trace ring, metrics
+	// series, watchdog) when enabled; nil otherwise.
+	Obs *Observability
 }
 
 // Runtime returns the cycle count used for normalized-runtime comparisons.

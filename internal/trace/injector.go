@@ -38,6 +38,7 @@ type Injector struct {
 
 	// Latency accounting.
 	ServiceLatency stats.Mean
+	ServiceHist    *stats.Histogram // full distribution (p50/p99/max)
 	HitLatency     stats.Mean
 	MissLatency    stats.Mean
 	CacheServed    *stats.Breakdown // misses served by other caches
@@ -73,6 +74,7 @@ func NewInjector(node int, prof Profile, seed uint64, port RequestPort, maxOutst
 		maxOutstanding: maxOutstanding,
 		warmup:         warmup,
 		limit:          limit,
+		ServiceHist:    stats.NewHistogram(4, 512),
 		CacheServed:    &stats.Breakdown{},
 		MemServed:      &stats.Breakdown{},
 	}
@@ -92,6 +94,7 @@ func (in *Injector) OnComplete(addr uint64, write bool, issue, done uint64, hit,
 	if in.Completed > in.warmup {
 		lat := float64(done - issue)
 		in.ServiceLatency.Observe(lat)
+		in.ServiceHist.Observe(done - issue)
 		if hit {
 			in.HitLatency.Observe(lat)
 		} else {

@@ -4,18 +4,16 @@ import (
 	"testing"
 
 	"scorpio/internal/noc"
+	"scorpio/internal/obs"
 	"scorpio/internal/ring"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 )
 
-// TestMeshSteadyStateAllocs pins the allocation-free hot path: after the
-// free lists and ring buffers warm up, stepping a loaded 6×6 mesh must not
-// touch the heap at all. Flits are recycled by the router/NIC/node pools,
-// unicast packets by the node free lists, VC queues and staging queues are
-// fixed rings, and Link.Commit swaps its credit buffers — so a steady-state
-// cycle has nothing left to allocate.
-func TestMeshSteadyStateAllocs(t *testing.T) {
+// warmMesh builds a loaded 6×6 mesh and runs it past the pool/ring warmup
+// point so a subsequent step window measures the steady-state hot path only.
+func warmMesh(t *testing.T) (*sim.Kernel, *noc.Mesh) {
+	t.Helper()
 	cfg := Config{
 		Net:           noc.DefaultConfig(), // 6×6
 		Pattern:       UniformRandom,
@@ -57,7 +55,18 @@ func TestMeshSteadyStateAllocs(t *testing.T) {
 
 	// Warm up: rings reach their high-water capacity, credit buffers settle.
 	k.Run(4000)
+	return k, mesh
+}
 
+// TestMeshSteadyStateAllocs pins the allocation-free hot path: after the
+// free lists and ring buffers warm up, stepping a loaded 6×6 mesh must not
+// touch the heap at all. Flits are recycled by the router/NIC/node pools,
+// unicast packets by the node free lists, VC queues and staging queues are
+// fixed rings, and Link.Commit swaps its credit buffers — so a steady-state
+// cycle has nothing left to allocate. With tracing off (the default), every
+// observability hook reduces to a nil pointer check.
+func TestMeshSteadyStateAllocs(t *testing.T) {
+	k, _ := warmMesh(t)
 	allocs := testing.AllocsPerRun(3, func() {
 		for i := 0; i < 500; i++ {
 			k.Step()
@@ -65,5 +74,26 @@ func TestMeshSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// TestMeshSteadyStateAllocsTracerAttached proves the tracer's record path is
+// itself allocation-free: with a lifecycle tracer attached to every router,
+// a steady-state step still never touches the heap (events land in the
+// preallocated ring, overwriting the oldest once full).
+func TestMeshSteadyStateAllocsTracerAttached(t *testing.T) {
+	k, mesh := warmMesh(t)
+	tr := obs.NewTracer(1 << 14)
+	mesh.SetTracer(tr)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("traced warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no events under load")
 	}
 }

@@ -15,10 +15,13 @@ package scorpio
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"scorpio/internal/coherence"
 	"scorpio/internal/core"
 	"scorpio/internal/directory"
+	"scorpio/internal/obs"
 	"scorpio/internal/system"
 	"scorpio/internal/trace"
 )
@@ -112,6 +115,80 @@ type Config struct {
 	// shards the components over N goroutines with identical results.
 	// TokenB/INSO always run serially (their orderers are shared state).
 	Workers int
+
+	// Observability (PR 3). All default to off; when off the hooks compile
+	// to a nil-check and the hot path stays allocation-free.
+
+	// TracePath, when non-empty, records every flit/transaction lifecycle
+	// event and writes a Chrome trace-event JSON file (load in Perfetto or
+	// chrome://tracing) at that path after the run.
+	TracePath string
+	// MetricsInterval samples live metrics (injection/ejection rates, VC
+	// occupancy, notification activity, outstanding misses) every N cycles.
+	MetricsInterval uint64
+	// MetricsPath receives the sampled time series; ".json" suffix selects
+	// JSON, anything else CSV. Empty with MetricsInterval set keeps the
+	// series in Result.Obs without writing a file.
+	MetricsPath string
+	// WatchdogCycles aborts the run with a full network-state snapshot when
+	// no packet is delivered for this many cycles while traffic is in
+	// flight (0 = disabled).
+	WatchdogCycles uint64
+}
+
+// obsOptions assembles the observability options (nil when everything is
+// off).
+func (c *Config) obsOptions() *obs.Options {
+	o := obs.Options{
+		Trace:           c.TracePath != "",
+		MetricsInterval: c.MetricsInterval,
+		Watchdog:        c.WatchdogCycles,
+	}
+	if !o.Enabled() {
+		return nil
+	}
+	return &o
+}
+
+// writeObsArtifacts flushes the trace and metrics files configured in cfg.
+// Run errors take precedence; artifact-write errors surface only on
+// otherwise-successful runs.
+func writeObsArtifacts(cfg Config, r Result) error {
+	if r.Obs == nil {
+		return nil
+	}
+	if cfg.TracePath != "" && r.Obs.Tracer != nil {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := r.Obs.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if cfg.MetricsPath != "" && r.Obs.Metrics != nil {
+		f, err := os.Create(cfg.MetricsPath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(cfg.MetricsPath, ".json") {
+			err = r.Obs.Metrics.WriteJSON(f)
+		} else {
+			err = r.Obs.Metrics.WriteCSV(f)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Benchmarks returns every available benchmark name.
@@ -237,11 +314,16 @@ func runScorpio(cfg Config, prof trace.Profile) (Result, error) {
 		opt.L2.CoreQueueDepth = 2 * cfg.MaxOutstanding
 		opt.Core.NIC.MaxPendingNotifs = cfg.MaxOutstanding
 	}
+	opt.Obs = cfg.obsOptions()
 	s, err := system.NewScorpio(opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(cfg.CycleLimit)
+	r, err := s.Run(cfg.CycleLimit)
+	if err != nil {
+		return r, err
+	}
+	return r, writeObsArtifacts(cfg, r)
 }
 
 func runDirectory(cfg Config, prof trace.Profile, v directory.Variant) (Result, error) {
@@ -267,11 +349,16 @@ func runDirectory(cfg Config, prof trace.Profile, v directory.Variant) (Result, 
 		opt.L2.MSHRs = cfg.MaxOutstanding
 		opt.L2.CoreQueueDepth = 2 * cfg.MaxOutstanding
 	}
+	opt.Obs = cfg.obsOptions()
 	d, err := system.NewDirectory(opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return d.Run(cfg.CycleLimit)
+	r, err := d.Run(cfg.CycleLimit)
+	if err != nil {
+		return r, err
+	}
+	return r, writeObsArtifacts(cfg, r)
 }
 
 func runBaseline(cfg Config, prof trace.Profile, scheme system.OrderingScheme) (Result, error) {
@@ -287,11 +374,16 @@ func runBaseline(cfg Config, prof trace.Profile, scheme system.OrderingScheme) (
 		opt.L2.MSHRs = cfg.MaxOutstanding
 		opt.L2.CoreQueueDepth = 2 * cfg.MaxOutstanding
 	}
+	opt.Obs = cfg.obsOptions()
 	b, err := system.NewBaseline(opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return b.Run(cfg.CycleLimit)
+	r, err := b.Run(cfg.CycleLimit)
+	if err != nil {
+		return r, err
+	}
+	return r, writeObsArtifacts(cfg, r)
 }
 
 // NewScorpioSystem exposes the full machine for programmatic use (the
