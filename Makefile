@@ -3,7 +3,7 @@ GO ?= go
 # Bump per PR that re-baselines the benchmark report.
 BENCH_JSON ?= BENCH_2.json
 
-.PHONY: build test vet race check bench benchsmoke tracesmoke
+.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -21,7 +21,7 @@ race:
 	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc
 
 # The full local CI gate.
-check: vet test race benchsmoke tracesmoke
+check: vet test race benchsmoke tracesmoke auditsmoke
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
 # network-only router benchmark, and the raw kernel stepping benchmark, with
@@ -48,3 +48,10 @@ benchsmoke:
 tracesmoke: build
 	$(GO) run ./cmd/scorpiosim -bench barnes -work 50 -warmup 50 -trace /tmp/scorpio-tracesmoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/scorpio-tracesmoke.json
+
+# The auditor smoke: short audited runs of the ordered machine and of a
+# baseline must complete with zero violations (a violation aborts the run,
+# so a nonzero exit fails the gate).
+auditsmoke: build
+	$(GO) run ./cmd/scorpiosim -bench barnes -work 50 -warmup 50 -audit | grep 'audit: ok'
+	$(GO) run ./cmd/scorpiosim -protocol INSO -nodes 16 -bench fft -work 50 -warmup 50 -audit | grep 'audit: ok'

@@ -29,9 +29,17 @@ func main() {
 		tracePath  = flag.String("trace", "", "run one traced SCORPIO point and write Chrome trace-event JSON to this path")
 		metricsIvl = flag.Uint64("metrics-interval", 0, "metrics sampling interval for the traced point (0 = off)")
 		watchdog   = flag.Uint64("watchdog", 0, "arm the forward-progress watchdog on every run (cycles without progress; 0 = off)")
+		audit      = flag.Bool("audit", false, "attach the online ordering/coherence auditor to every run")
 		pprofPath  = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["metrics-interval"] && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics-interval only applies to the traced point; it needs -trace PATH")
+		os.Exit(2)
+	}
 
 	if *pprofPath != "" {
 		f, err := os.Create(*pprofPath)
@@ -56,6 +64,7 @@ func main() {
 	scale.Seed = *seed
 	scale.Workers = *workers
 	scale.WatchdogCycles = *watchdog
+	scale.Audit = *audit
 
 	if *tracePath != "" {
 		// One dedicated traced 36-core SCORPIO run; the sweeps below stay
@@ -66,6 +75,7 @@ func main() {
 			Seed: scale.Seed, WatchdogCycles: *watchdog,
 			TracePath:       *tracePath,
 			MetricsInterval: *metricsIvl,
+			Audit:           *audit,
 		}
 		if *metricsIvl > 0 {
 			cfg.MetricsPath = strings.TrimSuffix(*tracePath, ".json") + "-metrics.csv"

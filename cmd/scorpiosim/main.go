@@ -43,9 +43,23 @@ func main() {
 		metricsIvl  = flag.Uint64("metrics-interval", 0, "sample live metrics every N cycles (0 = off)")
 		metricsPath = flag.String("metrics-out", "scorpio-metrics.csv", "metrics output path (.json selects JSON, else CSV)")
 		watchdog    = flag.Uint64("watchdog", 0, "abort with a network snapshot after N cycles without progress (0 = off)")
+		audit       = flag.Bool("audit", false, "attach the online ordering/coherence auditor and latency attributor")
+		auditEvery  = flag.Int("audit-every", 0, "auditor stale-sharer sweep period in cycles (0 = default; requires -audit)")
 		pprofPath   = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
+
+	// Reject observability flag combinations that would silently do nothing.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["metrics-out"] && *metricsIvl == 0 {
+		fmt.Fprintln(os.Stderr, "scorpiosim: -metrics-out has no effect without -metrics-interval N")
+		os.Exit(2)
+	}
+	if set["audit-every"] && !*audit {
+		fmt.Fprintln(os.Stderr, "scorpiosim: -audit-every has no effect without -audit")
+		os.Exit(2)
+	}
 
 	if *pprofPath != "" {
 		f, err := os.Create(*pprofPath)
@@ -91,6 +105,8 @@ func main() {
 		TracePath:       *tracePath,
 		MetricsInterval: *metricsIvl,
 		WatchdogCycles:  *watchdog,
+		Audit:           *audit,
+		AuditEvery:      *auditEvery,
 	}
 	if *metricsIvl > 0 {
 		cfg.MetricsPath = *metricsPath
@@ -131,6 +147,14 @@ func main() {
 	fmt.Printf("network            %d flits routed, %d bypassed\n", res.FlitsRouted, res.Bypasses)
 	if res.DirTransactions > 0 {
 		fmt.Printf("directory          %d transactions, %d cache misses\n", res.DirTransactions, res.DirCacheMisses)
+	}
+	if res.Obs != nil && res.Obs.Auditor != nil {
+		fmt.Println(res.Obs.Auditor.Summary())
+	}
+	if res.Obs != nil && res.Obs.Attrib != nil {
+		if t := res.Obs.Attrib.Table(); t != "" {
+			fmt.Print(t)
+		}
 	}
 }
 

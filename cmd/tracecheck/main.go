@@ -1,6 +1,8 @@
 // Command tracecheck validates a Chrome trace-event JSON file produced by
-// the -trace flag: it must parse, be non-empty, and contain at least one
-// transaction whose inject -> sink lifecycle is fully reconstructable.
+// the -trace flag: it must parse, be non-empty, contain at least one
+// transaction whose inject -> sink lifecycle is fully reconstructable, and
+// report no dropped events in its metadata (a tracer ring that wrapped has
+// overwritten the oldest events, so span reconstruction is lossy).
 //
 //	tracecheck scorpio-trace.json
 package main
@@ -20,6 +22,10 @@ type traceFile struct {
 			Pkt uint64 `json:"pkt"`
 		} `json:"args"`
 	} `json:"traceEvents"`
+	Metadata struct {
+		RecordedEvents uint64 `json:"recordedEvents"`
+		DroppedEvents  uint64 `json:"droppedEvents"`
+	} `json:"metadata"`
 }
 
 func main() {
@@ -58,7 +64,11 @@ func main() {
 	if complete == 0 {
 		fail(fmt.Sprintf("%s: no packet has both an inject and a sink event", os.Args[1]))
 	}
-	fmt.Printf("tracecheck: %s ok — %d events, %d spans, %d packets with a full inject->sink lifecycle\n",
+	if d := tf.Metadata.DroppedEvents; d > 0 {
+		fail(fmt.Sprintf("%s: tracer dropped %d of %d recorded events (ring wrapped) — span reconstruction is lossy; rerun with a larger trace capacity",
+			os.Args[1], d, tf.Metadata.RecordedEvents))
+	}
+	fmt.Printf("tracecheck: %s ok — %d events recorded, 0 dropped, %d spans, %d packets with a full inject->sink lifecycle\n",
 		os.Args[1], len(tf.TraceEvents), spans, complete)
 }
 

@@ -30,6 +30,9 @@ type Scale struct {
 	// flight aborts with a network snapshot instead of burning the cycle
 	// limit (0 = off).
 	WatchdogCycles uint64
+	// Audit attaches the online ordering/coherence auditor to every point;
+	// the first invariant violation aborts the sweep with a diagnosis.
+	Audit bool
 }
 
 // FullScale is the EXPERIMENTS.md reproduction scale.
@@ -51,6 +54,7 @@ func (s Scale) config(p Protocol, bench string) Config {
 		WorkPerCore: s.Work, WarmupPerCore: s.Warmup,
 		Seed: s.Seed, CycleLimit: s.CycleLimit,
 		WatchdogCycles: s.WatchdogCycles,
+		Audit:          s.Audit,
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"scorpio/internal/nic"
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
@@ -77,8 +78,10 @@ type Endpoint struct {
 	Delivered    uint64
 	OrderingWait stats.Mean
 
-	// tracer is nil unless lifecycle tracing is enabled.
-	tracer *obs.Tracer
+	// tracer is nil unless lifecycle tracing is enabled; auditor likewise
+	// for the online order/coherence monitor.
+	tracer  *obs.Tracer
+	auditor *audit.Auditor
 }
 
 type reorderEntry struct {
@@ -177,6 +180,9 @@ func (e *Endpoint) SetAgent(a nic.Agent) { e.agent = a }
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (e *Endpoint) SetTracer(t *obs.Tracer) { e.tracer = t }
 
+// SetAuditor attaches the online auditor (nil disables auditing).
+func (e *Endpoint) SetAuditor(a *audit.Auditor) { e.auditor = a }
+
 // SetExpirySource wires the INSO orderer's expiry broadcasts through this
 // endpoint's injection port.
 func (e *Endpoint) SetExpirySource(s interface{ TakeExpiryBroadcast(node int) bool }) {
@@ -258,6 +264,9 @@ func (e *Endpoint) receive(cycle uint64) {
 					Port: -1, VNet: int8(noc.GOReq), VC: int16(f.InVC()),
 				})
 			}
+			if e.auditor != nil {
+				e.auditor.Arrive(e.node, f.Pkt.ID, f.Pkt.Src)
+			}
 			e.reorder.put(f.Pkt.SrcSeq, reorderEntry{pkt: f.Pkt, arrive: cycle})
 		}
 	case noc.UOResp:
@@ -313,6 +322,10 @@ func (e *Endpoint) deliver(cycle uint64) {
 					Port: -1, VNet: int8(noc.GOReq), VC: -1,
 				})
 			}
+			if e.auditor != nil {
+				e.auditor.OrderCommit(e.node, entry.pkt.ID, entry.pkt.Src, cycle)
+				e.auditor.Sink(e.node, entry.pkt.ID, true)
+			}
 			e.reorder.del(e.nextKey)
 			e.nextKey++
 			e.reorder.advance(e.nextKey)
@@ -330,6 +343,9 @@ func (e *Endpoint) deliver(cycle uint64) {
 					Src: int32(p.Src), Pkt: p.ID,
 					Port: -1, VNet: int8(noc.UOResp), VC: -1,
 				})
+			}
+			if e.auditor != nil {
+				e.auditor.Sink(e.node, p.ID, false)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"scorpio/internal/cache"
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/stats"
 )
 
@@ -177,12 +178,34 @@ type L2Controller struct {
 	busyUntil  uint64
 	reqIDNext  uint64
 	Stats      Stats
-	// tracer is nil unless lifecycle tracing is enabled.
-	tracer *obs.Tracer
+	// tracer is nil unless lifecycle tracing is enabled; auditor likewise
+	// shadows every cache-array state change when auditing is on.
+	tracer  *obs.Tracer
+	auditor *audit.Auditor
 }
 
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (l *L2Controller) SetTracer(t *obs.Tracer) { l.tracer = t }
+
+// SetAuditor attaches the online auditor (nil disables auditing).
+func (l *L2Controller) SetAuditor(a *audit.Auditor) { l.auditor = a }
+
+// auditState mirrors one array-state mutation into the auditor's MOSI
+// shadow.
+func (l *L2Controller) auditState(addr uint64, st State, cycle uint64) {
+	var as audit.LineState
+	switch st {
+	case Shared:
+		as = audit.LineShared
+	case OwnedDirty:
+		as = audit.LineOwned
+	case Modified:
+		as = audit.LineModified
+	default:
+		as = audit.LineInvalid
+	}
+	l.auditor.LineState(l.node, addr, as, cycle)
+}
 
 // NewL2 builds a controller for the given node.
 func NewL2(node int, cfg Config, n NetPort, newID func() uint64, mm MemMap) *L2Controller {
@@ -332,18 +355,21 @@ func (l *L2Controller) ProcessOrdered(p *noc.Packet, arrive, cycle uint64) bool 
 		if st.owner() {
 			l.respondData(p, arrive, cycle, cycle+uint64(l.cfg.HitLatency), l.values[p.Addr])
 			ln.State = int(OwnedDirty)
+			if l.auditor != nil {
+				l.auditState(p.Addr, OwnedDirty, cycle)
+			}
 			l.charge(cycle, l.cfg.NonPLOccupancy)
 			return true
 		}
 	case GetX:
 		if st.owner() {
 			l.respondData(p, arrive, cycle, cycle+uint64(l.cfg.HitLatency), l.values[p.Addr])
-			l.invalidateLine(p.Addr)
+			l.invalidateLine(p.Addr, cycle)
 			l.charge(cycle, l.cfg.NonPLOccupancy)
 			return true
 		}
 		if st == Shared {
-			l.invalidateLine(p.Addr)
+			l.invalidateLine(p.Addr, cycle)
 		}
 	case PutM:
 		// Another tile's writeback: nothing to do.
@@ -416,10 +442,13 @@ func (l *L2Controller) respondData(p *noc.Packet, arrive, cycle, readyAt uint64,
 
 // invalidateLine removes a line (snoop invalidation), maintaining the region
 // tracker and L1 inclusion.
-func (l *L2Controller) invalidateLine(addr uint64) {
+func (l *L2Controller) invalidateLine(addr uint64, cycle uint64) {
 	if l.arr.Invalidate(addr) {
 		delete(l.values, addr)
 		l.Stats.Invalidations++
+		if l.auditor != nil {
+			l.auditState(addr, Invalid, cycle)
+		}
 		if l.rt != nil {
 			l.rt.NoteEvict(addr)
 		}
@@ -545,7 +574,7 @@ func (l *L2Controller) completeMiss(m *mshr, cycle uint64) {
 			}
 		}
 		if final == Invalid {
-			l.invalidateLine(m.addr)
+			l.invalidateLine(m.addr, cycle)
 		} else {
 			l.install(m.addr, final, cycle)
 			l.values[m.addr] = m.value
@@ -680,8 +709,17 @@ func (l *L2Controller) install(addr uint64, st State, cycle uint64) {
 	if l.rt != nil {
 		l.rt.NoteFill(addr)
 	}
+	if l.auditor != nil {
+		l.auditState(addr, st, cycle)
+	}
 	if !did {
 		return
+	}
+	if l.auditor != nil {
+		// The evicted line leaves the array; an in-flight writeback still
+		// serves snoops from its wbEntry, but for shadow purposes the copy
+		// is gone.
+		l.auditState(ev.Addr, Invalid, cycle)
 	}
 	if l.rt != nil {
 		l.rt.NoteEvict(ev.Addr)

@@ -17,6 +17,7 @@ import (
 	"scorpio/internal/noc"
 	"scorpio/internal/notif"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/sim"
 )
 
@@ -155,6 +156,18 @@ func (o *OrderedNet) SetTracer(t *obs.Tracer) {
 		n.SetTracer(t)
 	}
 	o.nnet.SetTracer(t)
+}
+
+// SetAuditor attaches the online auditor to every router, NIC and the
+// notification network (nil disables auditing everywhere).
+func (o *OrderedNet) SetAuditor(a *audit.Auditor) {
+	for _, m := range o.meshes {
+		m.SetAuditor(a)
+	}
+	for _, n := range o.nics {
+		n.SetAuditor(a)
+	}
+	o.nnet.SetAuditor(a)
 }
 
 // BufferedFlits counts flits buffered in routers across all main networks.

@@ -27,6 +27,7 @@ import (
 	"scorpio/internal/noc"
 	"scorpio/internal/notif"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
 	"scorpio/internal/stats"
 )
@@ -211,8 +212,10 @@ type NIC struct {
 	deliveredSeq []uint64 // per source: ordered requests already delivered here
 
 	// tracer is nil unless lifecycle tracing is enabled; every hook site
-	// guards on it so the disabled path is one branch.
-	tracer *obs.Tracer
+	// guards on it so the disabled path is one branch. auditor follows the
+	// same discipline for the online order/coherence monitor.
+	tracer  *obs.Tracer
+	auditor *audit.Auditor
 }
 
 // New builds a NIC for the given node and wires it to the two networks. The
@@ -261,6 +264,9 @@ func (n *NIC) SetAgent(a Agent) { n.agent = a }
 
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (n *NIC) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// SetAuditor attaches the online auditor (nil disables auditing).
+func (n *NIC) SetAuditor(a *audit.Auditor) { n.auditor = a }
 
 // Node returns the NIC's node ID.
 func (n *NIC) Node() int { return n.node }
@@ -489,6 +495,9 @@ func (n *NIC) receive(cycle uint64) {
 						Port: -1, VNet: int8(noc.GOReq), VC: int16(vc),
 					})
 				}
+				if n.auditor != nil {
+					n.auditor.Arrive(n.node, f.Pkt.ID, f.Pkt.Src)
+				}
 				port.reqBuf[vc].Push(reqEntry{pkt: f.Pkt, arrive: cycle})
 				if !n.cfg.Ordered {
 					port.arrivalQ.Push(vc)
@@ -579,6 +588,9 @@ func (n *NIC) deliver(cycle uint64) {
 						Port: -1, VNet: int8(noc.GOReq), VC: -1,
 					})
 				}
+				if n.auditor != nil {
+					n.auditor.Sink(n.node, e.pkt.ID, false)
+				}
 				delivered = true
 			}
 			break
@@ -601,6 +613,10 @@ func (n *NIC) deliver(cycle uint64) {
 						Src: int32(p.Src), Pkt: p.ID,
 						Port: -1, VNet: int8(noc.GOReq), VC: -1,
 					})
+				}
+				if n.auditor != nil {
+					n.auditor.OrderCommit(n.node, p.ID, p.Src, cycle)
+					n.auditor.Sink(n.node, p.ID, true)
 				}
 				n.deliveredSeq[run.sid]++
 				n.Stats.DeliveredRequests++
@@ -626,6 +642,9 @@ func (n *NIC) deliver(cycle uint64) {
 					Src: int32(p.Src), Pkt: p.ID,
 					Port: -1, VNet: int8(noc.UOResp), VC: -1,
 				})
+			}
+			if n.auditor != nil {
+				n.auditor.Sink(n.node, p.ID, false)
 			}
 			delivered = true
 		}

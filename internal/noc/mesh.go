@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/sim"
 )
 
@@ -171,6 +172,13 @@ func (m *Mesh) NextPacketID() uint64 {
 func (m *Mesh) SetTracer(t *obs.Tracer) {
 	for _, r := range m.routers {
 		r.SetTracer(t)
+	}
+}
+
+// SetAuditor attaches the online auditor to every router (nil disables).
+func (m *Mesh) SetAuditor(a *audit.Auditor) {
+	for _, r := range m.routers {
+		r.SetAuditor(a)
 	}
 }
 

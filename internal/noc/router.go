@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
 )
 
@@ -92,12 +93,17 @@ type Router struct {
 	Stats RouterStats
 	now   uint64
 	// tracer is nil unless lifecycle tracing is enabled; every hook site
-	// guards on it so the disabled path is one branch.
-	tracer *obs.Tracer
+	// guards on it so the disabled path is one branch. auditor follows the
+	// same discipline for the online multicast-fork checker.
+	tracer  *obs.Tracer
+	auditor *audit.Auditor
 }
 
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
+
+// SetAuditor attaches the online auditor (nil disables auditing).
+func (r *Router) SetAuditor(a *audit.Auditor) { r.auditor = a }
 
 // newRouter builds a router; links are attached by the mesh.
 func newRouter(cfg Config, id int, esid func(node int) (int, uint64, bool)) *Router {
@@ -506,6 +512,12 @@ func (r *Router) traverse(g grant) {
 			Src: int32(g.flit.Pkt.Src), Pkt: g.flit.Pkt.ID, Arg: uint64(g.out),
 			Port: int8(g.out), VNet: int8(g.vnet), VC: int16(g.dstVC),
 		})
+	}
+	if r.auditor != nil && g.out == Local {
+		// Every local ejection is one fork leaf of the (possibly multicast)
+		// packet; the auditor checks each (packet, node) assembly sees every
+		// flit exactly once.
+		r.auditor.FlitDelivered(r.id, g.flit.Pkt.ID, g.flit.Seq, g.flit.Pkt.Flits)
 	}
 }
 

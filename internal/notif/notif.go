@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 )
 
 // Config describes a notification network.
@@ -130,8 +131,10 @@ type Network struct {
 	WindowsDelivered uint64
 	StoppedWindows   uint64
 
-	// tracer is nil unless lifecycle tracing is enabled.
-	tracer *obs.Tracer
+	// tracer is nil unless lifecycle tracing is enabled; auditor likewise
+	// cross-checks announced window totals against NIC commits.
+	tracer  *obs.Tracer
+	auditor *audit.Auditor
 }
 
 // NewNetwork builds a notification network.
@@ -159,6 +162,9 @@ func (n *Network) AttachSource(node int, s Source) { n.sources[node] = s }
 
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// SetAuditor attaches the online auditor (nil disables auditing).
+func (n *Network) SetAuditor(a *audit.Auditor) { n.auditor = a }
 
 // WindowStart reports whether the given cycle begins a time window. Sources
 // use it to know when their committed offer is consumed.
@@ -246,6 +252,12 @@ func (n *Network) Commit(cycle uint64) {
 					Cycle: cycle, Type: obs.EvNotifWindow, Node: -1, Src: -1,
 					Arg: uint64(n.delivered.Total()), Port: stop, VNet: -1, VC: -1,
 				})
+			}
+			if n.auditor != nil && !n.delivered.Stop {
+				// A stop window is voided entirely (NICs re-arm their
+				// announcements), so only non-stop windows announce ordered
+				// requests the NICs will commit.
+				n.auditor.NotifWindow(n.delivered.Total())
 			}
 		}
 		n.pendingHas = false

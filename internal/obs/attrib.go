@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"scorpio/internal/stats"
+)
+
+// attribGeometry matches the canonical service-latency histogram geometry
+// used across the simulator so distributions stay mergeable/comparable.
+const (
+	attribBucketWidth = 4
+	attribBuckets     = 512
+)
+
+// Attribution decomposes every completed miss into the paper's Figure 10/11
+// latency segments and keeps a full stats.Histogram per component (where
+// stats.Breakdown keeps only means), separately for cache-to-cache and
+// memory-served misses. A nil *Attribution is inert; Observe is
+// mutex-guarded because completions fire from parallel kernel workers.
+type Attribution struct {
+	mu         sync.Mutex
+	cache      [stats.NumBreakdownComponents]*stats.Histogram
+	mem        [stats.NumBreakdownComponents]*stats.Histogram
+	cacheTotal *stats.Histogram
+	memTotal   *stats.Histogram
+}
+
+// NewAttribution returns an attributor with empty per-component histograms.
+func NewAttribution() *Attribution {
+	a := &Attribution{
+		cacheTotal: stats.NewHistogram(attribBucketWidth, attribBuckets),
+		memTotal:   stats.NewHistogram(attribBucketWidth, attribBuckets),
+	}
+	for i := range a.cache {
+		a.cache[i] = stats.NewHistogram(attribBucketWidth, attribBuckets)
+		a.mem[i] = stats.NewHistogram(attribBucketWidth, attribBuckets)
+	}
+	return a
+}
+
+// Observe records one miss's per-segment latencies (cycles), indexed by
+// stats.BreakdownComponent. Safe on a nil receiver and allocation-free.
+func (a *Attribution) Observe(servedByCache bool, segs *[stats.NumBreakdownComponents]uint64) {
+	if a == nil || segs == nil {
+		return
+	}
+	a.mu.Lock()
+	set, tot := &a.cache, a.cacheTotal
+	if !servedByCache {
+		set, tot = &a.mem, a.memTotal
+	}
+	var sum uint64
+	for i, v := range segs {
+		set[i].Observe(v)
+		sum += v
+	}
+	tot.Observe(sum)
+	a.mu.Unlock()
+}
+
+// Component returns the histogram for one segment of the chosen service
+// class. Callers must not mutate it while the run is live.
+func (a *Attribution) Component(servedByCache bool, c stats.BreakdownComponent) *stats.Histogram {
+	if a == nil {
+		return nil
+	}
+	if servedByCache {
+		return a.cache[c]
+	}
+	return a.mem[c]
+}
+
+// Total returns the end-to-end miss latency histogram for the chosen
+// service class.
+func (a *Attribution) Total(servedByCache bool) *stats.Histogram {
+	if a == nil {
+		return nil
+	}
+	if servedByCache {
+		return a.cacheTotal
+	}
+	return a.memTotal
+}
+
+// Misses reports the observed miss counts (cache-served, memory-served).
+func (a *Attribution) Misses() (cache, mem uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.cacheTotal.Count(), a.memTotal.Count()
+}
+
+// Table renders the Figure 10/11-style attribution: one row per breakdown
+// component with mean/p50/p99/max and its share of the summed latency, for
+// each service class with observations. Returns "" when nothing was seen.
+func (a *Attribution) Table() string {
+	if a == nil {
+		return ""
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sb strings.Builder
+	render := func(label string, set *[stats.NumBreakdownComponents]*stats.Histogram, tot *stats.Histogram) {
+		if tot.Count() == 0 {
+			return
+		}
+		var rows [][]string
+		for c := 0; c < stats.NumBreakdownComponents; c++ {
+			h := set[c]
+			if h.Count() == 0 || h.Sum() == 0 {
+				continue
+			}
+			share := 0.0
+			if tot.Sum() > 0 {
+				share = 100 * float64(h.Sum()) / float64(tot.Sum())
+			}
+			rows = append(rows, []string{
+				stats.BreakdownComponent(c).String(),
+				fmt.Sprintf("%.1f", h.Mean()),
+				fmt.Sprintf("%d", h.Percentile(50)),
+				fmt.Sprintf("%d", h.Percentile(99)),
+				fmt.Sprintf("%d", h.Max()),
+				fmt.Sprintf("%.1f%%", share),
+			})
+		}
+		rows = append(rows, []string{
+			"total",
+			fmt.Sprintf("%.1f", tot.Mean()),
+			fmt.Sprintf("%d", tot.Percentile(50)),
+			fmt.Sprintf("%d", tot.Percentile(99)),
+			fmt.Sprintf("%d", tot.Max()),
+			"100%",
+		})
+		sb.WriteString(stats.Table(
+			fmt.Sprintf("%s (%d misses)", label, tot.Count()),
+			[]string{"component", "mean", "p50", "p99", "max", "share"},
+			rows))
+	}
+	render("latency attribution — cache-to-cache", &a.cache, a.cacheTotal)
+	if sb.Len() > 0 && a.memTotal.Count() > 0 {
+		sb.WriteByte('\n')
+	}
+	render("latency attribution — memory-served", &a.mem, a.memTotal)
+	return sb.String()
+}

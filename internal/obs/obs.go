@@ -31,11 +31,17 @@ type Options struct {
 	// Watchdog fails the run after N cycles without forward progress while
 	// packets are in flight; 0 disables the monitor.
 	Watchdog uint64
+	// Audit enables the online ordering/coherence auditor and the
+	// per-transaction latency attributor.
+	Audit bool
+	// AuditEvery overrides the auditor's shadow-sweep interval in cycles
+	// (the auditor's default when zero).
+	AuditEvery int
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
-	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0
+	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0 || o.Audit
 }
 
 // DefaultTraceCapacity is the event ring size when Options.TraceCapacity is

@@ -52,6 +52,44 @@ func TestTracerRingWrap(t *testing.T) {
 	}
 }
 
+// TestChromeTraceAfterWrap pins the export path once the ring has
+// overwritten events: only the surviving window is emitted, and the metadata
+// block reports the loss so tracecheck/traceq can flag the trace as lossy.
+func TestChromeTraceAfterWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Cycle: uint64(i), Type: EvSink, Node: 1, Src: 0, Pkt: uint64(100 + i)})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ts uint64 `json:"ts"`
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+		Metadata struct {
+			RecordedEvents uint64 `json:"recordedEvents"`
+			DroppedEvents  uint64 `json:"droppedEvents"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("wrapped trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("exported %d events after wrap, want the 8 survivors", len(parsed.TraceEvents))
+	}
+	for i, e := range parsed.TraceEvents {
+		if want := uint64(12 + i); e.Ts != want {
+			t.Fatalf("event %d exported at ts=%d, want %d (oldest survivor first)", i, e.Ts, want)
+		}
+	}
+	if parsed.Metadata.RecordedEvents != 20 || parsed.Metadata.DroppedEvents != 12 {
+		t.Fatalf("metadata = %+v, want recordedEvents=20 droppedEvents=12", parsed.Metadata)
+	}
+}
+
 func TestEventTypeNames(t *testing.T) {
 	for ty := EventType(0); ty < numEventTypes; ty++ {
 		if ty.String() == "" || ty.String() == "unknown" {

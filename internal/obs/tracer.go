@@ -198,7 +198,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		emit(`{"name":"pkt","cat":"pkt","ph":"e","ts":%d,"pid":%d,"id":%d}`,
 			s.end, s.node, pkt)
 	}
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
+	// Trailing metadata records ring losses so consumers (tracecheck,
+	// traceq) can tell when span reconstruction is lossy. Perfetto ignores
+	// unknown top-level keys.
+	if _, err := fmt.Fprintf(bw, "\n],\"metadata\":{\"recordedEvents\":%d,\"droppedEvents\":%d}}\n",
+		t.Recorded.Value, t.Dropped.Value); err != nil {
 		return err
 	}
 	return bw.Flush()

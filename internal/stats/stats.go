@@ -94,6 +94,11 @@ func (h *Histogram) Mean() float64 {
 // Max reports the largest sample observed.
 func (h *Histogram) Max() uint64 { return h.max }
 
+// Sum reports the total of all samples observed (cycles across every
+// transaction); the latency attributor uses it to compute each component's
+// share of the end-to-end time.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
 // using bucket upper edges. When the target rank lands in the overflow
 // region (samples beyond the last bucket), the result interpolates between

@@ -1,0 +1,200 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"scorpio/internal/directory"
+	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
+	"scorpio/internal/trace"
+)
+
+// TestAuditedScorpioHealthy runs the full 36-core chip with the auditor
+// attached: the run must succeed with zero violations while the auditor
+// actually cross-checks work (commits, flits, shadow lines), and the latency
+// attributor must decompose every measured miss.
+func TestAuditedScorpioHealthy(t *testing.T) {
+	opt := smallOptions(t, "barnes", 36)
+	opt.WorkPerCore = 40
+	opt.WarmupPerCore = 60
+	opt.Obs = &obs.Options{Audit: true}
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(3_000_000)
+	if err != nil {
+		t.Fatalf("audited run failed: %v", err)
+	}
+	a := s.Obs.Auditor
+	if a.Violated() {
+		t.Fatalf("healthy run flagged: %s", a.Report())
+	}
+	if a.Commits() == 0 || a.FrontPos() == 0 {
+		t.Fatal("auditor cross-checked no order commits")
+	}
+	if a.FlitsChecked() == 0 {
+		t.Fatal("auditor verified no flit deliveries")
+	}
+	if !strings.HasPrefix(a.Summary(), "audit: ok") {
+		t.Fatalf("Summary() = %q", a.Summary())
+	}
+	// Every NIC must have committed the same number of ordered requests by
+	// run end (the network drains), so commits = nodes × positions.
+	if a.Commits() != uint64(36)*a.FrontPos() {
+		t.Fatalf("commits %d != 36 × %d positions: NICs ended out of step", a.Commits(), a.FrontPos())
+	}
+	at := res.Obs.Attrib
+	if at == nil {
+		t.Fatal("attributor missing from audited run")
+	}
+	cacheN, memN := at.Misses()
+	wantCache, wantMem := res.CacheServed.Count(), res.MemServed.Count()
+	if cacheN != wantCache || memN != wantMem {
+		t.Fatalf("attributor saw %d/%d misses, breakdowns saw %d/%d", cacheN, memN, wantCache, wantMem)
+	}
+	if cacheN+memN == 0 {
+		t.Fatal("no misses attributed")
+	}
+	if !strings.Contains(at.Table(), "latency attribution") {
+		t.Fatalf("attribution table malformed:\n%s", at.Table())
+	}
+}
+
+// TestAuditedBaselinesHealthy attaches the auditor to each baseline machine:
+// TokenB and INSO commit through the same canonical-ring checker as SCORPIO,
+// and the directory machine gets the delivery-sanity subset.
+func TestAuditedBaselinesHealthy(t *testing.T) {
+	prof, err := trace.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []OrderingScheme{SchemeTokenB, SchemeINSO} {
+		opt := DefaultBaselineOptions(scheme, prof)
+		opt.WorkPerCore = 40
+		opt.WarmupPerCore = 60
+		opt.Obs = &obs.Options{Audit: true}
+		b, err := NewBaseline(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(3_000_000); err != nil {
+			t.Fatalf("audited %s run failed: %v", scheme, err)
+		}
+		if b.Obs.Auditor.Commits() == 0 {
+			t.Fatalf("%s: auditor cross-checked no commits", scheme)
+		}
+	}
+	dopt := DefaultDirectoryOptions(directory.LPD, prof)
+	dopt.Net.Width, dopt.Net.Height = 4, 4
+	dopt.L2 = directory.L2Config{}
+	dopt.Home = directory.HomeConfig{}
+	dopt.fillDefaults()
+	dopt.WorkPerCore = 40
+	dopt.WarmupPerCore = 60
+	dopt.Obs = &obs.Options{Audit: true}
+	d, err := NewDirectory(dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(3_000_000); err != nil {
+		t.Fatalf("audited LPD-D run failed: %v", err)
+	}
+	if d.Obs.Auditor.FlitsChecked() == 0 {
+		t.Fatal("LPD-D: auditor verified no flit deliveries")
+	}
+}
+
+// TestAuditedParallelKernelHealthy exercises the auditor's mutex path under
+// the worker-pool kernel: results and audit verdict must match the serial run.
+func TestAuditedParallelKernelHealthy(t *testing.T) {
+	opt := smallOptions(t, "fft", 16)
+	opt.Workers = 4
+	opt.Obs = &obs.Options{Audit: true}
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(3_000_000); err != nil {
+		t.Fatalf("audited parallel run failed: %v", err)
+	}
+	if s.Obs.Auditor.Commits() == 0 {
+		t.Fatal("auditor cross-checked no commits under the parallel kernel")
+	}
+}
+
+// auditedPartialRun builds an audited 16-core machine and advances it until
+// the auditor has cross-checked some real traffic, leaving the run mid-flight
+// for a mutation to corrupt.
+func auditedPartialRun(t *testing.T) *Scorpio {
+	t.Helper()
+	opt := smallOptions(t, "barnes", 16)
+	opt.Obs = &obs.Options{Audit: true}
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kernel.RunUntil(func() bool { return s.Obs.Auditor.Commits() >= 32 }, 3_000_000)
+	if s.Obs.Auditor.Commits() < 32 {
+		t.Fatal("partial run produced no ordered traffic")
+	}
+	return s
+}
+
+// TestAuditDetectsCorruptedCommitOrder corrupts one NIC's commit stream
+// mid-run (the mutation a real ordering bug would produce) and checks the
+// run aborts with a divergence diagnosis naming the culprit.
+func TestAuditDetectsCorruptedCommitOrder(t *testing.T) {
+	s := auditedPartialRun(t)
+	// NIC 3 commits a packet no other NIC will ever see in that slot.
+	s.Obs.Auditor.OrderCommit(3, 0xdeadbeef, 3, s.Kernel.Cycle())
+	_, err := s.Run(3_000_000)
+	if err == nil {
+		t.Fatal("corrupted commit order did not abort the run")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "audit violation") || !strings.Contains(msg, "NIC 3") {
+		t.Fatalf("error does not name the culprit NIC: %v", err)
+	}
+	// Depending on where NIC 3 sat relative to the canonical front, the fake
+	// commit either diverges from the established order or overruns the
+	// notification announcements; both are correct detections of the mutation.
+	if !strings.Contains(msg, "global order diverged") && !strings.Contains(msg, "notification network announced") {
+		t.Fatalf("error missing ordering diagnosis: %v", err)
+	}
+}
+
+// TestAuditDetectsTwoOwners installs Modified for the same line at two tiles
+// (the mutation a lost-invalidation bug would produce) and checks the run
+// aborts naming the line and both NICs.
+func TestAuditDetectsTwoOwners(t *testing.T) {
+	s := auditedPartialRun(t)
+	cycle := s.Kernel.Cycle()
+	s.Obs.Auditor.LineState(0, 0xbad0bad0, audit.LineModified, cycle)
+	s.Obs.Auditor.LineState(5, 0xbad0bad0, audit.LineModified, cycle+1)
+	_, err := s.Run(3_000_000)
+	if err == nil {
+		t.Fatal("two-owner line did not abort the run")
+	}
+	msg := err.Error()
+	for _, want := range []string{"audit violation", "two owners", "0xbad0bad0", "NIC 5", "NIC 0"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestAuditViolationCarriesSnapshot checks the report embeds the same
+// network-state snapshot the watchdog would dump.
+func TestAuditViolationCarriesSnapshot(t *testing.T) {
+	s := auditedPartialRun(t)
+	s.Obs.Auditor.OrderCommit(3, 0xdeadbeef, 3, s.Kernel.Cycle())
+	_, err := s.Run(3_000_000)
+	if err == nil {
+		t.Fatal("violation did not abort")
+	}
+	if !strings.Contains(err.Error(), "mesh snapshot @cycle") {
+		t.Fatalf("violation report missing network snapshot: %v", err)
+	}
+}

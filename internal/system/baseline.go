@@ -148,7 +148,7 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		k.Register(ep)
 	}
 	mesh.Register(k)
-	b.Obs = buildObs(opt.Obs, k,
+	b.Obs = buildObs(opt.Obs, k, opt.Net.Nodes(),
 		func(c *counters) {
 			for _, ep := range b.Endpoints {
 				c.injected += ep.Injected
@@ -194,6 +194,20 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 			l2.SetTracer(b.Obs.Tracer)
 		}
 	}
+	if b.Obs != nil && b.Obs.Auditor != nil {
+		mesh.SetAuditor(b.Obs.Auditor)
+		for _, ep := range b.Endpoints {
+			ep.SetAuditor(b.Obs.Auditor)
+		}
+		for _, l2 := range b.L2s {
+			l2.SetAuditor(b.Obs.Auditor)
+		}
+	}
+	if b.Obs != nil {
+		for _, inj := range b.Injectors {
+			inj.Attr = b.Obs.Attrib
+		}
+	}
 	return b, nil
 }
 
@@ -211,10 +225,14 @@ func (b *Baseline) Done() bool {
 // the run with the full network snapshot in the error.
 func (b *Baseline) Run(limit uint64) (Results, error) {
 	done := b.Done
-	if b.Obs != nil && b.Obs.Watchdog != nil {
-		done = func() bool { return b.Obs.Stalled() || b.Done() }
+	if b.Obs != nil && (b.Obs.Watchdog != nil || b.Obs.Auditor != nil) {
+		done = func() bool { return b.Obs.Stalled() || b.Obs.Violated() || b.Done() }
 	}
 	finished := b.Kernel.RunUntil(done, limit)
+	if b.Obs.Violated() {
+		return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
+			b.opt.Scheme, b.opt.Profile.Name, b.Obs.AuditReport())
+	}
 	if b.Obs.Stalled() {
 		return Results{}, fmt.Errorf("system: %s/%s stalled\n%s",
 			b.opt.Scheme, b.opt.Profile.Name, b.Obs.StallReport())
@@ -226,6 +244,13 @@ func (b *Baseline) Run(limit uint64) (Results, error) {
 		}
 		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
 			b.opt.Scheme, b.opt.Profile.Name, limit, completed)
+	}
+	if b.Obs != nil && b.Obs.Auditor != nil {
+		b.Obs.Auditor.Finish(b.Kernel.Cycle())
+		if b.Obs.Violated() {
+			return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
+				b.opt.Scheme, b.opt.Profile.Name, b.Obs.AuditReport())
+		}
 	}
 	b.Obs.finishHeatmap(b.Mesh, b.Kernel.Cycle())
 	name := b.opt.Scheme.String()

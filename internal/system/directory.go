@@ -163,7 +163,7 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 	}
 	mesh.Register(k)
 	k.SetWorkers(opt.Workers)
-	d.Obs = buildObs(opt.Obs, k,
+	d.Obs = buildObs(opt.Obs, k, nodes,
 		func(c *counters) {
 			for _, n := range d.NICs {
 				c.injected += n.Stats.InjectedRequests + n.Stats.InjectedResponses
@@ -206,6 +206,21 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 			n.SetTracer(d.Obs.Tracer)
 		}
 	}
+	if d.Obs != nil && d.Obs.Auditor != nil {
+		// Directory machines have no ordered stream and a distinct L2 type
+		// without shadow-state hooks, so the auditor covers delivery sanity
+		// only: flit dedup/coverage in the routers and duplicate arrivals /
+		// sink accounting in the NICs.
+		mesh.SetAuditor(d.Obs.Auditor)
+		for _, n := range d.NICs {
+			n.SetAuditor(d.Obs.Auditor)
+		}
+	}
+	if d.Obs != nil {
+		for _, inj := range d.Injectors {
+			inj.Attr = d.Obs.Attrib
+		}
+	}
 	return d, nil
 }
 
@@ -223,10 +238,14 @@ func (d *Directory) Done() bool {
 // the run with the full network snapshot in the error.
 func (d *Directory) Run(limit uint64) (Results, error) {
 	done := d.Done
-	if d.Obs != nil && d.Obs.Watchdog != nil {
-		done = func() bool { return d.Obs.Stalled() || d.Done() }
+	if d.Obs != nil && (d.Obs.Watchdog != nil || d.Obs.Auditor != nil) {
+		done = func() bool { return d.Obs.Stalled() || d.Obs.Violated() || d.Done() }
 	}
 	finished := d.Kernel.RunUntil(done, limit)
+	if d.Obs.Violated() {
+		return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
+			d.opt.Variant, d.opt.Profile.Name, d.Obs.AuditReport())
+	}
 	if d.Obs.Stalled() {
 		return Results{}, fmt.Errorf("system: %s/%s stalled\n%s",
 			d.opt.Variant, d.opt.Profile.Name, d.Obs.StallReport())
@@ -238,6 +257,13 @@ func (d *Directory) Run(limit uint64) (Results, error) {
 		}
 		return Results{}, fmt.Errorf("system: %s/%s did not finish within %d cycles (completed %d)",
 			d.opt.Variant, d.opt.Profile.Name, limit, completed)
+	}
+	if d.Obs != nil && d.Obs.Auditor != nil {
+		d.Obs.Auditor.Finish(d.Kernel.Cycle())
+		if d.Obs.Violated() {
+			return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
+				d.opt.Variant, d.opt.Profile.Name, d.Obs.AuditReport())
+		}
 	}
 	d.Obs.finishHeatmap(d.Mesh, d.Kernel.Cycle())
 	return d.collect(), nil

@@ -3,6 +3,7 @@ package system
 import (
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/sim"
 )
 
@@ -26,12 +27,15 @@ type counters struct {
 
 // Observability bundles one run's enabled observability features: the
 // lifecycle tracer (threaded through routers, NICs, notification network and
-// coherence controllers), the periodic metrics sampler, and the
-// forward-progress watchdog. A nil *Observability means everything is off.
+// coherence controllers), the periodic metrics sampler, the forward-progress
+// watchdog, the online ordering/coherence auditor and the per-transaction
+// latency attributor. A nil *Observability means everything is off.
 type Observability struct {
 	Tracer   *obs.Tracer
 	Metrics  *obs.Metrics
 	Watchdog *obs.Watchdog
+	Auditor  *audit.Auditor
+	Attrib   *obs.Attribution
 }
 
 // Stalled reports whether the watchdog detected a stall. Safe on nil.
@@ -45,17 +49,29 @@ func (o *Observability) StallReport() string {
 	return o.Watchdog.Report()
 }
 
+// Violated reports whether the auditor latched a violation. Safe on nil.
+func (o *Observability) Violated() bool { return o != nil && o.Auditor.Violated() }
+
+// AuditReport returns the auditor's violation report ("" when clean).
+func (o *Observability) AuditReport() string {
+	if o == nil {
+		return ""
+	}
+	return o.Auditor.Report()
+}
+
 // buildObs assembles the bundle for one machine and installs it as the
 // kernel's post-commit observer. Returns nil (and installs nothing) when
 // opt enables no feature, keeping the disabled per-step cost at the
 // kernel's single observer nil-check.
 //
+//   - nodes is the machine's node count (auditor shadow-state sizing).
 //   - read fills one counters reading from the machine's cumulative stats.
 //   - occupancy returns (buffered flits in routers, outstanding misses).
 //   - inflight reports whether undelivered packets exist anywhere (router
 //     buffers or NIC/endpoint queues).
 //   - snapshot renders the full network state at a cycle.
-func buildObs(opt *obs.Options, k *sim.Kernel,
+func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 	read func(*counters),
 	occupancy func() (buffered, outstanding int),
 	inflight func() bool,
@@ -71,6 +87,12 @@ func buildObs(opt *obs.Options, k *sim.Kernel,
 	if opt.MetricsInterval > 0 {
 		o.Metrics = obs.NewMetrics(opt.MetricsInterval, metricsColumns)
 	}
+	if opt.Audit {
+		o.Auditor = audit.New(nodes, audit.Options{SweepEvery: opt.AuditEvery}, func() string {
+			return snapshot(k.Cycle())
+		})
+		o.Attrib = obs.NewAttribution()
+	}
 	if opt.Watchdog > 0 {
 		progress := func() (uint64, bool) {
 			var c counters
@@ -85,6 +107,7 @@ func buildObs(opt *obs.Options, k *sim.Kernel,
 	row := make([]float64, len(metricsColumns))
 	k.SetObserver(func(cycle uint64) {
 		o.Watchdog.Observe(cycle)
+		o.Auditor.Observe(cycle)
 		if o.Metrics.Due(cycle) {
 			var c counters
 			read(&c)

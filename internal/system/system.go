@@ -171,6 +171,9 @@ func NewScorpio(opt Options) (*Scorpio, error) {
 			port = &tilePort{t: tl}
 		}
 		inj := trace.NewInjector(node, opt.Profile, opt.Seed, port, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
+		if s.Obs != nil {
+			inj.Attr = s.Obs.Attrib
+		}
 		s.Injectors = append(s.Injectors, inj)
 		if opt.UseL1 {
 			tl.OnComplete = func(c tile.Completion) {
@@ -237,7 +240,7 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 		k.RegisterGroup(node, l2)
 	}
 	k.SetWorkers(opt.Workers)
-	s.Obs = buildObs(opt.Obs, k,
+	s.Obs = buildObs(opt.Obs, k, nodes,
 		func(c *counters) {
 			for node := 0; node < nodes; node++ {
 				st := &net.NIC(node).Stats
@@ -264,6 +267,12 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 			l2.SetTracer(s.Obs.Tracer)
 		}
 	}
+	if s.Obs != nil && s.Obs.Auditor != nil {
+		net.SetAuditor(s.Obs.Auditor)
+		for _, l2 := range s.L2s {
+			l2.SetAuditor(s.Obs.Auditor)
+		}
+	}
 	return s, nil
 }
 
@@ -282,10 +291,13 @@ func (s *Scorpio) Done() bool {
 // full network snapshot in the error.
 func (s *Scorpio) Run(limit uint64) (Results, error) {
 	done := s.Done
-	if s.Obs != nil && s.Obs.Watchdog != nil {
-		done = func() bool { return s.Obs.Stalled() || s.Done() }
+	if s.Obs != nil && (s.Obs.Watchdog != nil || s.Obs.Auditor != nil) {
+		done = func() bool { return s.Obs.Stalled() || s.Obs.Violated() || s.Done() }
 	}
 	finished := s.Kernel.RunUntil(done, limit)
+	if s.Obs.Violated() {
+		return Results{}, fmt.Errorf("system: %s audit violation\n%s", s.opt.Profile.Name, s.Obs.AuditReport())
+	}
 	if s.Obs.Stalled() {
 		return Results{}, fmt.Errorf("system: %s stalled\n%s", s.opt.Profile.Name, s.Obs.StallReport())
 	}
@@ -295,6 +307,12 @@ func (s *Scorpio) Run(limit uint64) (Results, error) {
 	}
 	if err := s.Net.VerifyGlobalOrder(); err != nil {
 		return Results{}, err
+	}
+	if s.Obs != nil && s.Obs.Auditor != nil {
+		s.Obs.Auditor.Finish(s.Kernel.Cycle())
+		if s.Obs.Violated() {
+			return Results{}, fmt.Errorf("system: %s audit violation\n%s", s.opt.Profile.Name, s.Obs.AuditReport())
+		}
 	}
 	s.Obs.finishHeatmap(s.Net.Mesh(), s.Kernel.Cycle())
 	return s.collect(), nil

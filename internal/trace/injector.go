@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"scorpio/internal/obs"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 )
@@ -43,6 +44,10 @@ type Injector struct {
 	MissLatency    stats.Mean
 	CacheServed    *stats.Breakdown // misses served by other caches
 	MemServed      *stats.Breakdown // misses served by memory/directory
+
+	// Attr, when non-nil, receives every measured miss's segment breakdown
+	// as full per-component histograms (the latency attributor).
+	Attr *obs.Attribution
 }
 
 // access is one generated request.
@@ -108,6 +113,7 @@ func (in *Injector) OnComplete(addr uint64, write bool, issue, done uint64, hit,
 			} else {
 				in.MemServed.Observe(breakdown)
 			}
+			in.Attr.Observe(servedByCache, breakdown)
 		}
 	}
 	if in.Done() && in.DoneCycle == 0 {

@@ -5,6 +5,7 @@ import (
 
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
+	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
@@ -95,5 +96,29 @@ func TestMeshSteadyStateAllocsTracerAttached(t *testing.T) {
 	}
 	if tr.Len() == 0 {
 		t.Fatal("tracer recorded no events under load")
+	}
+}
+
+// TestMeshSteadyStateAllocsAuditorAttached proves the online auditor's check
+// path is allocation-free too: its flit-coverage maps are presized and retire
+// complete assemblies immediately, so with the auditor verifying every local
+// ejection a steady-state step still never touches the heap.
+func TestMeshSteadyStateAllocsAuditorAttached(t *testing.T) {
+	k, mesh := warmMesh(t)
+	a := audit.New(36, audit.Options{}, nil)
+	mesh.SetAuditor(a)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("audited warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	if a.FlitsChecked() == 0 {
+		t.Fatal("auditor verified no flit deliveries under load")
+	}
+	if a.Violated() {
+		t.Fatalf("healthy synthetic traffic flagged: %s", a.Report())
 	}
 }

@@ -134,6 +134,16 @@ type Config struct {
 	// no packet is delivered for this many cycles while traffic is in
 	// flight (0 = disabled).
 	WatchdogCycles uint64
+	// Audit attaches the online ordering/coherence auditor: every NIC's
+	// commit stream is cross-checked against a canonical total order, MOSI
+	// line states against a shadow directory, and flit delivery against
+	// duplicate/drop invariants. The first violation aborts the run with a
+	// diagnosis naming the culprit NICs/line. Also enables the per-miss
+	// latency attributor (Result.Obs.Attrib).
+	Audit bool
+	// AuditEvery sets the auditor's stale-sharer sweep period in cycles
+	// (0 = the auditor's default). Requires Audit.
+	AuditEvery int
 }
 
 // obsOptions assembles the observability options (nil when everything is
@@ -143,6 +153,8 @@ func (c *Config) obsOptions() *obs.Options {
 		Trace:           c.TracePath != "",
 		MetricsInterval: c.MetricsInterval,
 		Watchdog:        c.WatchdogCycles,
+		Audit:           c.Audit,
+		AuditEvery:      c.AuditEvery,
 	}
 	if !o.Enabled() {
 		return nil
@@ -243,6 +255,14 @@ func (c *Config) fill() error {
 	}
 	if c.CycleLimit == 0 {
 		c.CycleLimit = 50_000_000
+	}
+	// Observability flag combinations that silently do nothing are almost
+	// always operator mistakes; reject them before building a machine.
+	if c.AuditEvery != 0 && !c.Audit {
+		return fmt.Errorf("scorpio: Config.AuditEvery requires Config.Audit")
+	}
+	if c.MetricsPath != "" && c.MetricsInterval == 0 {
+		return fmt.Errorf("scorpio: Config.MetricsPath requires Config.MetricsInterval > 0")
 	}
 	return nil
 }
