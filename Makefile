@@ -1,7 +1,7 @@
 GO ?= go
 
 # Bump per PR that re-baselines the benchmark report.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 
 .PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke
 
@@ -24,23 +24,30 @@ race:
 check: vet test race benchsmoke tracesmoke auditsmoke
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
-# network-only router benchmark, and the raw kernel stepping benchmark, with
+# network-only router benchmark, the raw kernel stepping benchmark, and the
+# real-mesh kernel throughput curve (mesh size × worker count), with
 # allocation counting, aggregated into a JSON baseline (see cmd/benchjson).
 bench:
 	( $(GO) test -bench 'BenchmarkFig6aNormalizedRuntime$$|BenchmarkRouterThroughput$$' \
 		-benchmem -count=3 -run '^$$' . ; \
 	  $(GO) test -bench 'BenchmarkKernelThroughput' \
-		-benchmem -count=3 -run '^$$' ./internal/sim ) \
+		-benchmem -count=3 -run '^$$' ./internal/sim ; \
+	  $(GO) test -bench 'BenchmarkKernelThroughputMesh' \
+		-benchmem -count=3 -run '^$$' ./internal/system ) \
 	| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
 # One cheap iteration of the same benchmarks: the check gate proves they
 # still run without committing to a full measurement. The unanchored
 # RouterThroughput pattern also runs the traced variant, so tracing-on is
-# exercised on every check.
+# exercised on every check. The final line is the parallel-speedup guard:
+# on a multi-core host, workers=NumCPU must not step a warm mesh slower
+# than serial (the test skips itself on single-CPU machines).
 benchsmoke:
 	$(GO) test -bench 'BenchmarkRouterThroughput' -benchmem -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkKernelThroughput' -benchmem -benchtime 1x -run '^$$' ./internal/sim
+	$(GO) test -bench 'BenchmarkKernelThroughputMesh/mesh=6x6' -benchmem -benchtime 1x -run '^$$' ./internal/system
+	SCORPIO_SPEEDUP_GUARD=1 $(GO) test -run 'TestParallelSpeedupGuard$$' -v ./internal/system
 
 # The trace-format smoke: produce a lifecycle trace from a short 36-core run
 # and validate it parses as Chrome trace-event JSON with at least one fully

@@ -1,0 +1,67 @@
+package bitset
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s := New(130) // three words, last one partial
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, b := range []int{0, 63, 64, 100, 129} {
+		s.Add(b)
+		if !s.Test(b) {
+			t.Fatalf("bit %d not set after Add", b)
+		}
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	s.Remove(64)
+	if s.Test(64) || s.Count() != 4 {
+		t.Fatal("Remove(64) did not clear the bit")
+	}
+	if s.Test(500) {
+		t.Fatal("Test outside the universe must read false")
+	}
+}
+
+func TestSetNextAscending(t *testing.T) {
+	s := New(200)
+	want := []int{3, 63, 64, 65, 127, 128, 199}
+	for _, b := range want {
+		s.Add(b)
+	}
+	var got []int
+	for b := s.Next(0); b >= 0; b = s.Next(b + 1) {
+		got = append(got, b)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walked %v, want %v", got, want)
+		}
+	}
+	if s.Next(200) != -1 || s.Next(-5) != 3 {
+		t.Fatal("Next boundary handling wrong")
+	}
+}
+
+func TestSetOnlyAndReset(t *testing.T) {
+	s := New(100)
+	s.Add(10)
+	s.Add(90)
+	s.SetOnly(70)
+	if s.Count() != 1 || !s.Test(70) {
+		t.Fatalf("SetOnly left %d bits, first=%d", s.Count(), s.Next(0))
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("Reset left bits set")
+	}
+	var zero Set
+	if zero.Any() || zero.Count() != 0 || zero.Next(0) != -1 || zero.Test(3) {
+		t.Fatal("zero-value Set must behave as empty")
+	}
+}

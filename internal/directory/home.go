@@ -2,8 +2,8 @@ package directory
 
 import (
 	"fmt"
-	"math/bits"
 
+	"scorpio/internal/bitset"
 	"scorpio/internal/cache"
 	"scorpio/internal/coherence"
 	"scorpio/internal/noc"
@@ -75,13 +75,13 @@ type qreq struct {
 }
 
 // line is the backing directory state for one line (exact, DRAM-backed; the
-// finite directory cache only affects latency). The sharer set is a uint64
-// bitmask — the largest directory configuration is 64 nodes (guarded in
-// NewHome) — which makes the GetX invalidation scan a deterministic
-// ascending-bit walk with no per-transaction map churn.
+// finite directory cache only affects latency). The sharer set is a
+// multi-word bitset sized to the machine, which keeps the GetX invalidation
+// scan a deterministic ascending-bit walk with no per-transaction map churn
+// at any node count.
 type line struct {
 	owner      int
-	sharers    uint64 // bit s set: node s holds the line
+	sharers    bitset.Set // bit s set: node s holds the line
 	overflowed bool
 	memValid   bool
 	busy       bool
@@ -151,9 +151,6 @@ type Home struct {
 
 // NewHome builds a directory slice.
 func NewHome(node int, cfg HomeConfig, n coherence.NetPort, newID func() uint64) *Home {
-	if cfg.Nodes > 64 {
-		panic(fmt.Sprintf("directory: %d nodes exceed the 64-node sharer bitmask", cfg.Nodes))
-	}
 	perNode := cfg.TotalDirCacheBytes / cfg.Nodes
 	entries := perNode / cfg.EntryBytes
 	if entries < 4 {
@@ -173,7 +170,7 @@ func HomeFor(addr uint64, nodes int) int { return int(addr % uint64(nodes)) }
 func (h *Home) line(addr uint64) *line {
 	l, ok := h.lines[addr]
 	if !ok {
-		l = &line{owner: -1, memValid: true}
+		l = &line{owner: -1, memValid: true, sharers: bitset.New(h.cfg.Nodes)}
 		h.lines[addr] = l
 	}
 	return l
@@ -246,7 +243,7 @@ func (h *Home) processGetS(l *line, q qreq, cycle uint64) {
 		} else {
 			h.probe(ProbeS, p, q.arrive, cycle)
 		}
-		l.sharers |= 1 << uint(p.Src)
+		l.sharers.Add(p.Src)
 		h.checkOverflow(l)
 		return
 	}
@@ -256,7 +253,7 @@ func (h *Home) processGetS(l *line, q qreq, cycle uint64) {
 		return
 	}
 	// Memory supplies the data.
-	l.sharers |= 1 << uint(p.Src)
+	l.sharers.Add(p.Src)
 	h.checkOverflow(l)
 	h.serveFromMemory(l, q, cycle, 0)
 }
@@ -285,15 +282,14 @@ func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
 		}
 	default:
 		// LPD with precise sharers. Invalidations go out in ascending node
-		// order — bitmask iteration is inherently deterministic, unlike the
+		// order — bitset iteration is inherently deterministic, unlike the
 		// sorted map scan it replaced.
 		invs := 0
-		skip := uint64(1) << uint(p.Src)
-		if l.owner >= 0 {
-			skip |= 1 << uint(l.owner)
-		}
-		for rem := l.sharers &^ skip; rem != 0; rem &= rem - 1 {
-			h.invalidate(bits.TrailingZeros64(rem), p, q.arrive, cycle)
+		for s := l.sharers.Next(0); s >= 0; s = l.sharers.Next(s + 1) {
+			if s == p.Src || s == l.owner {
+				continue
+			}
+			h.invalidate(s, p, q.arrive, cycle)
 			invs++
 		}
 		switch {
@@ -307,7 +303,7 @@ func (h *Home) processGetX(l *line, q qreq, cycle uint64) {
 		}
 	}
 	l.owner = p.Src
-	l.sharers = 1 << uint(p.Src)
+	l.sharers.SetOnly(p.Src)
 	l.overflowed = false
 }
 
@@ -463,7 +459,7 @@ func (h *Home) ack(kind Kind, dst int, p *noc.Packet, at uint64) {
 
 // checkOverflow latches LPD pointer overflow.
 func (h *Home) checkOverflow(l *line) {
-	if h.cfg.Variant == LPD && bits.OnesCount64(l.sharers) > h.cfg.Pointers {
+	if h.cfg.Variant == LPD && l.sharers.Count() > h.cfg.Pointers {
 		l.overflowed = true
 	}
 }

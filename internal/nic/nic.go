@@ -198,9 +198,9 @@ type NIC struct {
 
 	// Global-order state.
 	trackerQ ring.Ring[notif.Vector]
-	// vecFree recycles the Counts buffers of consumed tracker vectors so
+	// vecFree recycles the word buffers of consumed tracker vectors so
 	// per-window vector cloning allocates nothing in steady state.
-	vecFree      [][]uint8
+	vecFree      [][]uint64
 	order        []sidRun
 	orderPos     int
 	rrPtr        int
@@ -441,37 +441,35 @@ func (n *NIC) processNotifications(cycle uint64) {
 		n.announcedLag = n.offerCount
 	}
 	// Expand the next vector once the current ESID sequence is exhausted.
+	// The rotating-priority scan (fairness across windows, Section 3.1) walks
+	// sid rrPtr..N-1 then 0..rrPtr-1; NextFrom skips zero words whole, so the
+	// expansion costs O(announcing cores + words), not O(nodes).
 	if !n.orderActive() && !n.trackerQ.Empty() {
 		v := n.trackerQ.PopFront()
 		n.order = n.order[:0]
-		nNodes := n.ncfg.Nodes()
-		for k := 0; k < nNodes; k++ {
-			sid := (n.rrPtr + k) % nNodes
-			if c := v.Counts[sid]; c > 0 {
-				n.order = append(n.order, sidRun{sid: sid, count: int(c)})
-			}
+		for sid, c := v.NextFrom(n.rrPtr); sid >= 0; sid, c = v.NextFrom(sid + 1) {
+			n.order = append(n.order, sidRun{sid: sid, count: c})
 		}
-		n.vecFree = append(n.vecFree, v.Counts)
+		for sid, c := v.NextFrom(0); sid >= 0 && sid < n.rrPtr; sid, c = v.NextFrom(sid + 1) {
+			n.order = append(n.order, sidRun{sid: sid, count: c})
+		}
+		n.vecFree = append(n.vecFree, v.Words)
 		n.orderPos = 0
-		// Rotating priority: fairness across windows (Section 3.1).
-		n.rrPtr = (n.rrPtr + 1) % nNodes
+		n.rrPtr = (n.rrPtr + 1) % n.ncfg.Nodes()
 	}
 }
 
-// cloneVector copies a delivered notification vector into a recycled Counts
+// cloneVector copies a delivered notification vector into a recycled word
 // buffer (the delivery is only valid for one cycle; the tracker queue needs
 // its own copy).
 func (n *NIC) cloneVector(v notif.Vector) notif.Vector {
-	var counts []uint8
+	var words []uint64
 	if k := len(n.vecFree); k > 0 {
-		counts = n.vecFree[k-1]
+		words = n.vecFree[k-1]
 		n.vecFree[k-1] = nil
 		n.vecFree = n.vecFree[:k-1]
-	} else {
-		counts = make([]uint8, len(v.Counts))
 	}
-	copy(counts, v.Counts)
-	return notif.Vector{Counts: counts, Stop: v.Stop}
+	return v.CloneUsing(words)
 }
 
 // receive buffers flits arriving from every port's local output port and,

@@ -61,17 +61,59 @@ func (c Config) MaxPerWindow() int {
 func (c Config) Nodes() int { return c.Width * c.Height }
 
 // Vector is a merged notification message: per-core request counts and the
-// stop backpressure bit.
+// stop backpressure bit. The counts are packed BitsPerCore-bit fields
+// (rounded up to a power-of-two width) in Words, 64/width cores per word —
+// the hardware-faithful wire format. A 256-core vector at 1 bit/core is 4
+// words, so merging and scanning cost O(nodes/64) words instead of O(nodes)
+// bytes; that is what lifts the notification network's per-node O(N) blowup
+// on large meshes. OR-merging words is exact per-field union because only
+// core i ever sets field i.
 type Vector struct {
-	Counts []uint8
-	Stop   bool
+	Words []uint64
+	Stop  bool
+	// width is the field width in bits (1, 2, 4 or 8); nodes bounds iteration.
+	width uint8
+	nodes int32
+}
+
+// NewVector returns a zero vector for an n-core network with bitsPerCore-bit
+// counters.
+func NewVector(n, bitsPerCore int) Vector {
+	w := fieldWidth(bitsPerCore)
+	words := (n*w + 63) / 64
+	return Vector{Words: make([]uint64, words), width: uint8(w), nodes: int32(n)}
+}
+
+// fieldWidth rounds a counter width up to a power of two so fields never
+// straddle word boundaries.
+func fieldWidth(bits int) int {
+	for _, w := range [...]int{1, 2, 4, 8} {
+		if bits <= w {
+			return w
+		}
+	}
+	return 8
+}
+
+func (v Vector) mask() uint64 { return 1<<v.width - 1 }
+
+// Count returns core i's announced request count.
+func (v Vector) Count(i int) int {
+	per := 64 / int(v.width)
+	return int(v.Words[i/per] >> (uint(i%per) * uint(v.width)) & v.mask())
+}
+
+// set stores core i's count; the field must currently be zero.
+func (v Vector) set(i, count int) {
+	per := 64 / int(v.width)
+	v.Words[i/per] |= uint64(count) << (uint(i%per) * uint(v.width))
 }
 
 // merge ORs other into v. Because only core i ever sets field i, OR equals
 // exact per-field union.
 func (v *Vector) merge(other Vector) {
-	for i, c := range other.Counts {
-		v.Counts[i] |= c
+	for i, w := range other.Words {
+		v.Words[i] |= w
 	}
 	v.Stop = v.Stop || other.Stop
 }
@@ -81,8 +123,8 @@ func (v Vector) Empty() bool {
 	if v.Stop {
 		return false
 	}
-	for _, c := range v.Counts {
-		if c != 0 {
+	for _, w := range v.Words {
+		if w != 0 {
 			return false
 		}
 	}
@@ -92,16 +134,52 @@ func (v Vector) Empty() bool {
 // Total returns the number of requests announced across all cores.
 func (v Vector) Total() int {
 	n := 0
-	for _, c := range v.Counts {
-		n += int(c)
+	for i, c := v.NextFrom(0); i >= 0; i, c = v.NextFrom(i + 1) {
+		n += c
 	}
 	return n
 }
 
+// NextFrom returns the first core >= i with a nonzero count, and that count;
+// core -1 when none remains. Zero words are skipped whole, so scanning a
+// sparse vector costs O(words), which is how the NICs expand ESID sequences
+// without an O(nodes) walk per window.
+func (v Vector) NextFrom(i int) (int, int) {
+	if i < 0 {
+		i = 0
+	}
+	n := int(v.nodes)
+	per := 64 / int(v.width)
+	for i < n {
+		word := v.Words[i/per] >> (uint(i%per) * uint(v.width))
+		for word != 0 {
+			if c := word & v.mask(); c != 0 {
+				return i, int(c)
+			}
+			word >>= uint(v.width)
+			i++
+		}
+		i = (i/per + 1) * per
+	}
+	return -1, 0
+}
+
 // Clone returns an independent copy.
 func (v Vector) Clone() Vector {
-	c := Vector{Counts: make([]uint8, len(v.Counts)), Stop: v.Stop}
-	copy(c.Counts, v.Counts)
+	return v.CloneUsing(nil)
+}
+
+// CloneUsing returns an independent copy backed by buf when buf has the
+// capacity (a fresh slice otherwise); callers that recycle word buffers pass
+// a spare one to keep steady-state cloning allocation-free.
+func (v Vector) CloneUsing(buf []uint64) Vector {
+	c := v
+	if cap(buf) >= len(v.Words) {
+		c.Words = buf[:len(v.Words)]
+	} else {
+		c.Words = make([]uint64, len(v.Words))
+	}
+	copy(c.Words, v.Words)
 	return c
 }
 
@@ -146,11 +224,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.cur = make([]Vector, cfg.Nodes())
 	n.next = make([]Vector, cfg.Nodes())
 	for i := range n.cur {
-		n.cur[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
-		n.next[i] = Vector{Counts: make([]uint8, cfg.Nodes())}
+		n.cur[i] = NewVector(cfg.Nodes(), cfg.BitsPerCore)
+		n.next[i] = NewVector(cfg.Nodes(), cfg.BitsPerCore)
 	}
-	n.pendingDelivery = Vector{Counts: make([]uint8, cfg.Nodes())}
-	n.delivered = Vector{Counts: make([]uint8, cfg.Nodes())}
+	n.pendingDelivery = NewVector(cfg.Nodes(), cfg.BitsPerCore)
+	n.delivered = NewVector(cfg.Nodes(), cfg.BitsPerCore)
 	return n, nil
 }
 
@@ -191,7 +269,7 @@ func (n *Network) Evaluate(cycle uint64) {
 				if count > n.cfg.MaxPerWindow() {
 					panic(fmt.Sprintf("notif: node %d offered %d notifications, max %d", i, count, n.cfg.MaxPerWindow()))
 				}
-				n.next[i].Counts[i] = uint8(count)
+				n.next[i].set(i, count)
 				n.next[i].Stop = stop
 			}
 		}
@@ -202,7 +280,7 @@ func (n *Network) Evaluate(cycle uint64) {
 	// per-node, per-cycle Clone was the largest fixed allocation cost of the
 	// whole simulate loop (nodes × cycles vectors).
 	for i := range n.next {
-		copy(n.next[i].Counts, n.cur[i].Counts)
+		copy(n.next[i].Words, n.cur[i].Words)
 		n.next[i].Stop = n.cur[i].Stop
 		x, y := i%n.cfg.Width, i/n.cfg.Width
 		if x > 0 {
@@ -223,7 +301,7 @@ func (n *Network) Evaluate(cycle uint64) {
 		// the merged message handed to all NICs next cycle. Copied into a
 		// reusable buffer — NICs that keep the vector past the one delivery
 		// cycle clone it themselves.
-		copy(n.pendingDelivery.Counts, n.next[0].Counts)
+		copy(n.pendingDelivery.Words, n.next[0].Words)
 		n.pendingDelivery.Stop = n.next[0].Stop
 		n.pendingHas = !n.pendingDelivery.Empty()
 	}
@@ -269,9 +347,15 @@ func (n *Network) Commit(cycle uint64) {
 // Latch exposes a node's current latch value (for tests).
 func (n *Network) Latch(node int) Vector { return n.cur[node].Clone() }
 
+// PhaseCost seeds the parallel kernel's cost-balanced sharder: the OR-mesh
+// is one component doing a whole mesh's worth of per-cycle work, so it
+// weighs in proportional to the node count until measured phase times take
+// over.
+func (n *Network) PhaseCost() int { return 1 + n.cfg.Nodes()/4 }
+
 func clearVector(v *Vector) {
-	for i := range v.Counts {
-		v.Counts[i] = 0
+	for i := range v.Words {
+		v.Words[i] = 0
 	}
 	v.Stop = false
 }

@@ -48,8 +48,8 @@ func runWindows(t *testing.T, cfg Config, sources map[int]*fixedSource, windows 
 			ref := net.Latch(0)
 			for n := 1; n < cfg.Nodes(); n++ {
 				l := net.Latch(n)
-				for i := range ref.Counts {
-					if l.Counts[i] != ref.Counts[i] {
+				for i := 0; i < cfg.Nodes(); i++ {
+					if l.Count(i) != ref.Count(i) {
 						t.Fatalf("node %d latch differs from node 0 at field %d", n, i)
 					}
 				}
@@ -69,12 +69,12 @@ func TestSingleNotificationDeliveredToAll(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("delivered %d windows, want 1", len(got))
 	}
-	for i, c := range got[0].Counts {
-		want := uint8(0)
+	for i := 0; i < cfg.Nodes(); i++ {
+		want := 0
 		if i == 14 {
 			want = 1
 		}
-		if c != want {
+		if c := got[0].Count(i); c != want {
 			t.Fatalf("field %d = %d, want %d", i, c, want)
 		}
 	}
@@ -92,8 +92,8 @@ func TestMergeOfConcurrentNotifications(t *testing.T) {
 		t.Fatalf("delivered %d windows, want 1", len(got))
 	}
 	v := got[0]
-	if v.Counts[0] != 3 || v.Counts[6] != 1 || v.Counts[15] != 2 {
-		t.Fatalf("merged counts wrong: %v", v.Counts)
+	if v.Count(0) != 3 || v.Count(6) != 1 || v.Count(15) != 2 {
+		t.Fatalf("merged counts wrong: %v", v.Words)
 	}
 	if v.Total() != 6 {
 		t.Fatalf("Total = %d, want 6", v.Total())
@@ -111,7 +111,7 @@ func TestStopBitPropagates(t *testing.T) {
 		t.Fatal("stop bit did not reach all nodes")
 	}
 	// The request count is still visible; consumers discard stopped windows.
-	if got[0].Counts[0] != 1 {
+	if got[0].Count(0) != 1 {
 		t.Fatal("counts lost when stop asserted")
 	}
 }
@@ -134,14 +134,14 @@ func TestSuccessiveWindowsIndependent(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("delivered %d windows, want 3", len(got))
 	}
-	if got[0].Counts[3] != 1 || got[0].Counts[9] != 0 {
-		t.Fatalf("window 0 wrong: %v", got[0].Counts)
+	if got[0].Count(3) != 1 || got[0].Count(9) != 0 {
+		t.Fatalf("window 0 wrong: %v", got[0].Words)
 	}
-	if got[1].Counts[3] != 0 || got[1].Counts[9] != 1 {
-		t.Fatalf("window 1 wrong: %v", got[1].Counts)
+	if got[1].Count(3) != 0 || got[1].Count(9) != 1 {
+		t.Fatalf("window 1 wrong: %v", got[1].Words)
 	}
-	if got[2].Counts[3] != 1 || got[2].Counts[9] != 0 {
-		t.Fatalf("window 2 leaked state: %v", got[2].Counts)
+	if got[2].Count(3) != 1 || got[2].Count(9) != 0 {
+		t.Fatalf("window 2 leaked state: %v", got[2].Words)
 	}
 }
 
@@ -178,8 +178,8 @@ func TestRandomOffersPropertyAllNodesAgree(t *testing.T) {
 			t.Fatalf("trial %d: delivered %d windows, want 1", trial, len(got))
 		}
 		for n, c := range want {
-			if int(got[0].Counts[n]) != c {
-				t.Fatalf("trial %d (%dx%d): field %d = %d, want %d", trial, w, h, n, got[0].Counts[n], c)
+			if got[0].Count(n) != c {
+				t.Fatalf("trial %d (%dx%d): field %d = %d, want %d", trial, w, h, n, got[0].Count(n), c)
 			}
 		}
 	}
@@ -219,7 +219,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestVectorHelpers(t *testing.T) {
-	v := Vector{Counts: make([]uint8, 4)}
+	v := NewVector(4, 2)
 	if !v.Empty() {
 		t.Fatal("zero vector must be empty")
 	}
@@ -228,13 +228,47 @@ func TestVectorHelpers(t *testing.T) {
 		t.Fatal("stop bit makes a vector non-empty")
 	}
 	v.Stop = false
-	v.Counts[2] = 3
-	if v.Empty() || v.Total() != 3 {
+	v.set(2, 3)
+	if v.Empty() || v.Total() != 3 || v.Count(2) != 3 {
 		t.Fatal("vector with counts must be non-empty")
 	}
 	c := v.Clone()
-	c.Counts[2] = 1
-	if v.Counts[2] != 3 {
+	c.Words[0] = 0
+	if v.Count(2) != 3 {
 		t.Fatal("Clone must not alias")
+	}
+}
+
+// TestVectorPackedScan pins the packed representation across field widths
+// and word boundaries: counts land in the right fields, NextFrom walks them
+// in ascending order skipping zero words, and odd BitsPerCore values round
+// up to the next power-of-two width.
+func TestVectorPackedScan(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 4, 8} {
+		const nodes = 300 // several words at every width
+		v := NewVector(nodes, bits)
+		max := 1<<bits - 1
+		set := map[int]int{0: 1, 63: 1, 64: max, 97: 1, 255: max, 299: 1}
+		for i, c := range set {
+			v.set(i, c)
+		}
+		want := []int{0, 63, 64, 97, 255, 299}
+		k, total := 0, 0
+		for i, c := v.NextFrom(0); i >= 0; i, c = v.NextFrom(i + 1) {
+			if k >= len(want) || i != want[k] {
+				t.Fatalf("bits=%d: NextFrom visited %d at step %d, want %v", bits, i, k, want)
+			}
+			if c != set[i] {
+				t.Fatalf("bits=%d: field %d = %d, want %d", bits, i, c, set[i])
+			}
+			k++
+			total += c
+		}
+		if k != len(want) || v.Total() != total {
+			t.Fatalf("bits=%d: visited %d fields (Total=%d, sum=%d)", bits, k, v.Total(), total)
+		}
+		if i, _ := v.NextFrom(256); i != 299 {
+			t.Fatalf("bits=%d: NextFrom(256) = %d, want 299", bits, i)
+		}
 	}
 }

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"scorpio/internal/bitset"
 )
 
 // LineState is the auditor's protocol-agnostic view of a cache line state.
@@ -92,9 +94,11 @@ type commitRec struct {
 
 // lineShadow is the compact per-line MOSI shadow. own is owner+1 (0 = no
 // owner) so the map's zero value means "no information". grantPos is the
-// owner's commit watermark when it installed Modified.
+// owner's commit watermark when it installed Modified. The sharer set is a
+// multi-word bitset sized to the machine, so the shadow works at any node
+// count.
 type lineShadow struct {
-	sharers  uint64
+	sharers  bitset.Set
 	grantPos uint64
 	own      int16
 	ownerM   bool
@@ -129,8 +133,7 @@ type Auditor struct {
 	recent   []commitRec
 	recentN  []uint32
 
-	// (b) MOSI shadow (bitmask capacity limits it to <= 64 nodes).
-	mosi  bool
+	// (b) MOSI shadow.
 	lines map[uint64]lineShadow
 
 	// (c) delivery sanity.
@@ -172,7 +175,6 @@ func New(n int, opt Options, snapshot func() string) *Auditor {
 		pos:          make([]uint64, n),
 		recent:       make([]commitRec, n*recentDepth),
 		recentN:      make([]uint32, n),
-		mosi:         n <= 64,
 		lines:        make(map[uint64]lineShadow, 1<<15),
 		lastCommit:   make([]uint64, n),
 		lastCommitOK: make([]bool, n),
@@ -359,18 +361,20 @@ func (a *Auditor) LineState(node int, addr uint64, st LineState, cycle uint64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.violated || !a.mosi || node < 0 || node >= a.nodes {
+	if a.violated || node < 0 || node >= a.nodes {
 		return
 	}
-	bit := uint64(1) << uint(node)
 	sh := a.lines[addr]
+	if sh.sharers == nil {
+		sh.sharers = bitset.New(a.nodes)
+	}
 	switch st {
 	case LineInvalid:
-		sh.sharers &^= bit
+		sh.sharers.Remove(node)
 		if sh.own == int16(node)+1 {
 			sh.own, sh.ownerM = 0, false
 		}
-		if sh.sharers == 0 && sh.own == 0 {
+		if !sh.sharers.Any() && sh.own == 0 {
 			delete(a.lines, addr)
 			return
 		}
@@ -380,7 +384,7 @@ func (a *Auditor) LineState(node int, addr uint64, st LineState, cycle uint64) {
 				addr, node, cycle, sh.own-1, sh.grantPos)
 			return
 		}
-		sh.sharers |= bit
+		sh.sharers.Add(node)
 		if sh.own == int16(node)+1 {
 			sh.own, sh.ownerM = 0, false
 		}
@@ -391,11 +395,11 @@ func (a *Auditor) LineState(node int, addr uint64, st LineState, cycle uint64) {
 			return
 		}
 		sh.own = int16(node) + 1
-		sh.sharers &^= bit
+		sh.sharers.Remove(node)
 		if st == LineModified {
 			sh.ownerM = true
 			sh.grantPos = a.pos[node]
-			if sh.sharers != 0 && a.staleSharerLocked(addr, &sh, cycle) {
+			if sh.sharers.Any() && a.staleSharerLocked(addr, &sh, cycle) {
 				return
 			}
 		} else {
@@ -409,8 +413,8 @@ func (a *Auditor) LineState(node int, addr uint64, st LineState, cycle uint64) {
 // grant yet still holds a copy (its ordered invalidation never cleared the
 // bit). Returns true when it latched a violation.
 func (a *Auditor) staleSharerLocked(addr uint64, sh *lineShadow, cycle uint64) bool {
-	for s := 0; s < a.nodes; s++ {
-		if sh.sharers&(uint64(1)<<uint(s)) == 0 || sh.own == int16(s)+1 {
+	for s := sh.sharers.Next(0); s >= 0; s = sh.sharers.Next(s + 1) {
+		if sh.own == int16(s)+1 {
 			continue
 		}
 		if a.pos[s] > sh.grantPos {
@@ -451,11 +455,8 @@ func (a *Auditor) Observe(cycle uint64) {
 }
 
 func (a *Auditor) sweepLocked(cycle uint64) {
-	if !a.mosi {
-		return
-	}
 	for addr, sh := range a.lines {
-		if !sh.ownerM || sh.sharers == 0 {
+		if !sh.ownerM || !sh.sharers.Any() {
 			continue
 		}
 		if a.staleSharerLocked(addr, &sh, cycle) {

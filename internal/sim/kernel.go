@@ -9,15 +9,21 @@
 // registered, which makes runs bit-for-bit reproducible.
 //
 // The same property makes the kernel parallelizable: SetWorkers(n) shards the
-// component list over n persistent worker goroutines that run every Evaluate,
-// barrier, then run every Commit. Components that call each other directly
-// within a phase (a NIC delivering into its node's L2, say) must share a
-// scheduling unit — register them under one key with RegisterGroup so the
-// kernel never splits them across workers and their relative order inside the
-// unit matches their registration order.
+// component list over n persistent workers (the driving goroutine is worker 0)
+// that run every Evaluate, barrier, then run every Commit. Components that
+// call each other directly within a phase (a NIC delivering into its node's
+// L2, say) must share a scheduling unit — register them under one key with
+// RegisterGroup so the kernel never splits them across workers and their
+// relative order inside the unit matches their registration order.
+//
+// Scheduling units are packed onto workers by measured cost (see pool.go):
+// every unit carries an EWMA of its observed per-cycle phase time, refreshed
+// on periodic profiling cycles, and the pool repacks units longest-processing-
+// time-first whenever the shards drift out of balance. Assignment never
+// affects results — only which goroutine happens to execute a unit.
 package sim
 
-import "sync"
+import "runtime"
 
 // Component is a hardware block ticked once per cycle.
 //
@@ -31,6 +37,33 @@ type Component interface {
 	Commit(cycle uint64)
 }
 
+// PhaseCoster is optionally implemented by components whose per-cycle cost is
+// far from the average (the notification network's single component does a
+// whole mesh's worth of work, for example). The static weight seeds the
+// cost-balanced sharder before any profiling cycle has measured real phase
+// times; afterwards the measured EWMA takes over entirely.
+type PhaseCoster interface {
+	// PhaseCost returns a relative per-cycle cost estimate; ordinary
+	// components default to 1.
+	PhaseCost() int
+}
+
+// unit is one scheduling unit: components that must execute on the same
+// worker, in order, plus the sharder's cost bookkeeping.
+type unit struct {
+	comps []Component
+	// cost is the balancing weight: the static seed until the first
+	// profiling cycle, then an EWMA of measured phase nanoseconds.
+	cost   float64
+	seeded bool // cost holds measured time, not the static seed
+	// sampleNs/sampleCnt accumulate profiling-cycle measurements; written
+	// only by the owning worker mid-cycle, folded and zeroed by the driver
+	// between cycles (the commit barrier orders the two).
+	sampleNs  float64
+	sampleCnt uint32
+	owner     int32 // current shard, for migration accounting
+}
+
 // Kernel drives a set of components with a shared synchronous clock.
 type Kernel struct {
 	components []Component
@@ -39,8 +72,9 @@ type Kernel struct {
 	cycle      uint64
 
 	workers int
-	dirty   bool // shards stale: registration or worker count changed
-	pool    *workerPool
+	dirty   bool // units stale: registration or worker count changed
+	noShard bool // last unit build found too few units to shard
+	pool    *phasePool
 
 	observer func(cycle uint64)
 }
@@ -73,7 +107,8 @@ func (k *Kernel) RegisterGroup(key int, c Component) {
 
 // SetWorkers selects the execution mode: n <= 1 runs every phase on the
 // calling goroutine (the default), n > 1 shards the scheduling units over n
-// persistent workers. Results are identical either way.
+// persistent workers (the driving goroutine is one of them). Results are
+// identical either way.
 func (k *Kernel) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -111,8 +146,7 @@ func (k *Kernel) SetObserver(fn func(cycle uint64)) {
 func (k *Kernel) Step() {
 	cyc := k.cycle
 	if p := k.parallelPool(); p != nil {
-		p.phase(cyc, false)
-		p.phase(cyc, true)
+		p.step(cyc)
 	} else {
 		for _, c := range k.components {
 			c.Evaluate(cyc)
@@ -127,19 +161,20 @@ func (k *Kernel) Step() {
 	}
 }
 
-// Run executes n cycles. Worker goroutines (if any) are released on return.
+// Run executes n cycles. Worker goroutines stay warm on return so repeated
+// runs (sweeps, litmus sequences) never pay pool start/stop; they are
+// released by StopWorkers, by the next reshard, or by a GC cleanup when the
+// kernel itself becomes unreachable.
 func (k *Kernel) Run(n uint64) {
-	defer k.StopWorkers()
 	for i := uint64(0); i < n; i++ {
 		k.Step()
 	}
 }
 
 // RunUntil steps the kernel until done reports true or the cycle limit is
-// reached, and reports whether done became true. Worker goroutines (if any)
-// are released on return.
+// reached, and reports whether done became true. Like Run, worker goroutines
+// stay warm on return.
 func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
-	defer k.StopWorkers()
 	for k.cycle < limit {
 		if done() {
 			return true
@@ -150,8 +185,10 @@ func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
 }
 
 // StopWorkers releases the persistent worker goroutines; the next parallel
-// Step restarts them. Run and RunUntil call this on return, so only code that
-// drives Step directly needs it.
+// Step restarts them. Calling it is optional — an unreachable kernel's pool
+// is stopped by a runtime cleanup — but drivers that hold many kernels alive
+// (a sweep retaining finished machines for their results, say) can release
+// the goroutines eagerly with it.
 func (k *Kernel) StopWorkers() {
 	if k.pool != nil {
 		k.pool.stop()
@@ -164,100 +201,77 @@ func (k *Kernel) Components() int {
 	return len(k.components)
 }
 
+// BalanceStats reports the cost-balanced sharder's activity since the pool
+// started: how many rebalance passes ran and how many unit migrations they
+// performed. Zeroes when the kernel is serial or the pool has not started.
+func (k *Kernel) BalanceStats() (rebalances, migrations uint64) {
+	if k.pool == nil {
+		return 0, 0
+	}
+	return k.pool.rebalances, k.pool.migrations
+}
+
 // parallelPool returns the running worker pool, starting or rebuilding it as
 // needed, or nil when the kernel should step serially.
-func (k *Kernel) parallelPool() *workerPool {
+func (k *Kernel) parallelPool() *phasePool {
 	if k.workers <= 1 || len(k.components) < 2*k.workers {
 		return nil
 	}
 	if k.dirty {
 		k.StopWorkers()
 		k.dirty = false
+		k.noShard = false
+	}
+	if k.noShard {
+		return nil
 	}
 	if k.pool == nil {
-		k.pool = startPool(k.buildShards())
+		units := k.buildUnits()
+		if len(units) < 2 {
+			k.noShard = true
+			return nil
+		}
+		nw := k.workers
+		if nw > len(units) {
+			nw = len(units)
+		}
+		k.pool = newPhasePool(units, nw)
+		// Leak guard: Run no longer tears the pool down, so a kernel that is
+		// simply dropped would otherwise strand parked goroutines. The pool
+		// holds no reference back to the kernel, so the cleanup fires once
+		// the kernel is unreachable.
+		k.pool.cleanup = runtime.AddCleanup(k, func(p *phasePool) { p.stop() }, k.pool)
 	}
 	return k.pool
 }
 
-// buildShards groups components into scheduling units (registration order
-// within a unit, first-appearance order across units) and deals the units
-// round-robin onto per-worker component lists.
-func (k *Kernel) buildShards() [][]Component {
+// buildUnits groups components into scheduling units (registration order
+// within a unit, first-appearance order across units) and seeds each unit's
+// balancing cost from the components' static weights.
+func (k *Kernel) buildUnits() []unit {
 	unitOf := make(map[int]int)
-	var units [][]Component
+	var units []unit
 	for i, c := range k.components {
 		key := k.groupKeys[i]
-		if key < 0 {
-			units = append(units, []Component{c})
-			continue
-		}
-		if u, ok := unitOf[key]; ok {
-			units[u] = append(units[u], c)
-		} else {
-			unitOf[key] = len(units)
-			units = append(units, []Component{c})
-		}
-	}
-	shards := make([][]Component, k.workers)
-	for i, u := range units {
-		w := i % k.workers
-		shards[w] = append(shards[w], u...)
-	}
-	return shards
-}
-
-// workerPool is a set of persistent goroutines, one per shard, that execute
-// one phase (evaluate or commit) across every shard and then barrier.
-type workerPool struct {
-	cmds []chan poolCmd
-	wg   sync.WaitGroup
-}
-
-// poolCmd instructs a worker to run one phase of one cycle over its shard.
-type poolCmd struct {
-	cycle  uint64
-	commit bool
-}
-
-// startPool launches one goroutine per shard; each blocks on its command
-// channel between phases.
-func startPool(shards [][]Component) *workerPool {
-	p := &workerPool{cmds: make([]chan poolCmd, len(shards))}
-	for i, shard := range shards {
-		ch := make(chan poolCmd, 1)
-		p.cmds[i] = ch
-		go func(comps []Component) {
-			for cmd := range ch {
-				if cmd.commit {
-					for _, c := range comps {
-						c.Commit(cmd.cycle)
-					}
-				} else {
-					for _, c := range comps {
-						c.Evaluate(cmd.cycle)
-					}
-				}
-				p.wg.Done()
+		if key >= 0 {
+			if u, ok := unitOf[key]; ok {
+				units[u].comps = append(units[u].comps, c)
+				continue
 			}
-		}(shard)
+			unitOf[key] = len(units)
+		}
+		units = append(units, unit{comps: []Component{c}})
 	}
-	return p
-}
-
-// phase runs one phase across all shards and waits for every worker (the
-// barrier between evaluate and commit, and between cycles).
-func (p *workerPool) phase(cycle uint64, commit bool) {
-	p.wg.Add(len(p.cmds))
-	for _, ch := range p.cmds {
-		ch <- poolCmd{cycle: cycle, commit: commit}
+	for i := range units {
+		w := 0.0
+		for _, c := range units[i].comps {
+			if h, ok := c.(PhaseCoster); ok {
+				w += float64(h.PhaseCost())
+			} else {
+				w++
+			}
+		}
+		units[i].cost = w
 	}
-	p.wg.Wait()
-}
-
-// stop terminates the worker goroutines.
-func (p *workerPool) stop() {
-	for _, ch := range p.cmds {
-		close(ch)
-	}
+	return units
 }

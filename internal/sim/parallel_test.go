@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// forceProcs pins GOMAXPROCS for the duration of a test so both of the
+// pool's execution modes — inline on a single-proc host, concurrent
+// otherwise — are exercised regardless of the machine the tests run on.
+// Pools sample GOMAXPROCS at start, so the mode sticks even after restore.
+func forceProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // buildChain wires n stage components into a committed-state pipeline and
 // registers them in the order given by perm (identity when nil).
 func buildChain(n int, perm []int, workers int) (*Kernel, []*stage) {
@@ -39,20 +49,29 @@ func chainValues(stages []*stage) []int {
 }
 
 // TestKernelParallelMatchesSerial pins the core contract: the same component
-// graph produces identical state serial and at every worker count.
+// graph produces identical state serial and at every worker count, in both
+// the inline and the concurrent pool mode.
 func TestKernelParallelMatchesSerial(t *testing.T) {
 	const n, cycles = 64, 40
 	kRef, ref := buildChain(n, nil, 1)
 	kRef.Run(cycles)
-	for _, workers := range []int{2, 3, 8} {
-		k, stages := buildChain(n, nil, workers)
-		k.Run(cycles)
-		want, got := chainValues(ref), chainValues(stages)
-		for i := range want {
-			if want[i] != got[i] {
-				t.Fatalf("workers=%d stage %d: got %d want %d", workers, i, got[i], want[i])
+	for _, mode := range []struct {
+		name  string
+		procs int
+	}{{"inline", 1}, {"concurrent", 4}} {
+		t.Run(mode.name, func(t *testing.T) {
+			forceProcs(t, mode.procs)
+			for _, workers := range []int{2, 3, 8} {
+				k, stages := buildChain(n, nil, workers)
+				k.Run(cycles)
+				want, got := chainValues(ref), chainValues(stages)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("workers=%d stage %d: got %d want %d", workers, i, got[i], want[i])
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -60,6 +79,7 @@ func TestKernelParallelMatchesSerial(t *testing.T) {
 // under parallel execution: a deterministically shuffled registration order
 // must not change any component's final state.
 func TestKernelParallelShuffledOrder(t *testing.T) {
+	forceProcs(t, 4)
 	const n, cycles = 64, 40
 	kRef, ref := buildChain(n, nil, 1)
 	kRef.Run(cycles)
@@ -98,6 +118,7 @@ func (o *ordered) Commit(cycle uint64)   {}
 // TestRegisterGroupPreservesOrder verifies that components sharing a group
 // key execute in registration order on a single worker.
 func TestRegisterGroupPreservesOrder(t *testing.T) {
+	forceProcs(t, 4)
 	k := NewKernel()
 	logs := make([][]int, 4)
 	for g := 0; g < 4; g++ {
@@ -120,9 +141,11 @@ func TestRegisterGroupPreservesOrder(t *testing.T) {
 	}
 }
 
-// TestKernelStepRestartsPool checks that driving Step directly works after
-// Run released the workers, and that late registration reshards.
+// TestKernelStepRestartsPool checks that driving Step directly works after a
+// Run (workers stay warm across calls now), and that late registration
+// reshards.
 func TestKernelStepRestartsPool(t *testing.T) {
+	forceProcs(t, 4)
 	k := NewKernel()
 	counters := make([]*counter, 16)
 	for i := range counters {
@@ -130,7 +153,7 @@ func TestKernelStepRestartsPool(t *testing.T) {
 		k.Register(counters[i])
 	}
 	k.SetWorkers(4)
-	k.Run(3) // releases the pool on return
+	k.Run(3) // workers stay warm on return
 	late := &counter{}
 	k.Register(late)
 	for i := 0; i < 2; i++ {
@@ -146,6 +169,74 @@ func TestKernelStepRestartsPool(t *testing.T) {
 	if k.Workers() != 4 {
 		t.Fatalf("Workers() = %d, want 4", k.Workers())
 	}
+}
+
+// spinComp burns a deterministic amount of CPU per evaluate proportional to
+// weight, counts committed cycles, and advertises a static cost seed that is
+// deliberately allowed to lie — the profiling rebalance must correct it.
+type spinComp struct {
+	weight int
+	seed   int
+	sink   uint64
+	value  int
+}
+
+func (c *spinComp) Evaluate(cycle uint64) {
+	h := c.sink + cycle
+	for i := 0; i < c.weight*200; i++ {
+		h = h*0x9e3779b97f4a7c15 + 1
+		h ^= h >> 29
+	}
+	c.sink = h
+}
+func (c *spinComp) Commit(cycle uint64) { c.value++ }
+func (c *spinComp) PhaseCost() int      { return c.seed }
+
+// TestShardRebalanceUnderReshard drives the cost-balanced sharder end to end:
+// a unit whose static seed wildly understates its measured cost must be
+// migrated off its overloaded shard by a profiling rebalance, and a mid-run
+// registration — which tears the pool down and rebuilds it from static seeds
+// — must leave every component's cycle count exact and balancing alive.
+func TestShardRebalanceUnderReshard(t *testing.T) {
+	forceProcs(t, 4)
+	k := NewKernel()
+	var comps []*spinComp
+	heavy := &spinComp{weight: 50, seed: 1} // lies: claims to cost the same as the rest
+	comps = append(comps, heavy)
+	k.Register(heavy)
+	for i := 0; i < 7; i++ {
+		c := &spinComp{weight: 1, seed: 1}
+		comps = append(comps, c)
+		k.Register(c)
+	}
+	k.SetWorkers(2)
+	const first = rebalanceEvery + sampleEvery + 2
+	k.Run(first)
+	reb, mig := k.BalanceStats()
+	if reb < 2 { // 1 is the initial pack; >= 2 means a measured repack fired
+		t.Fatalf("rebalances = %d, want >= 2 (no measured rebalance fired)", reb)
+	}
+	if mig == 0 {
+		t.Fatal("rebalance fired but migrated no units")
+	}
+	late := &spinComp{weight: 1, seed: 1}
+	comps = append(comps, late)
+	k.Register(late) // reshard: the pool is rebuilt from scratch
+	const second = rebalanceEvery + sampleEvery + 2
+	k.Run(second)
+	if reb2, _ := k.BalanceStats(); reb2 < 2 {
+		t.Fatalf("post-reshard rebalances = %d, want >= 2", reb2)
+	}
+	for i, c := range comps {
+		want := first + second
+		if c == late {
+			want = second
+		}
+		if c.value != want {
+			t.Fatalf("comp %d committed %d cycles, want %d", i, c.value, want)
+		}
+	}
+	k.StopWorkers()
 }
 
 // benchComp is a synthetic component with a realistic per-cycle cost: it

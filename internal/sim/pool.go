@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Cost-balancing cadence. Every sampleEvery-th cycle each worker times its
+// units individually (two clock reads per unit, so the profiling overhead is
+// amortized to well under a percent); every rebalanceEvery-th cycle the
+// driver folds those samples into the units' EWMA costs and repacks the
+// shards if they have drifted apart. rebalanceEvery must be a multiple of
+// sampleEvery so a rebalance always sees fresh samples.
+const (
+	sampleEvery    = 256
+	rebalanceEvery = 1024
+	// ewmaOld is the weight of the existing cost estimate when folding in a
+	// new measurement window.
+	ewmaOld = 0.5
+	// imbalanceTrigger repacks when the heaviest shard exceeds the mean
+	// shard load by this factor. High enough that measurement noise does not
+	// cause churn, low enough that one heavy router cannot serialize a
+	// cycle for long.
+	imbalanceTrigger = 1.15
+)
+
+// participant is one executor's parking slot: the driving goroutine is
+// participant 0, worker goroutines are 1..nw-1. parked+wake implement a
+// futex-style sleep: a waiter that exhausts its spin budget publishes
+// parked=true and blocks on wake; a waker transfers exactly one token per
+// successful parked CAS, so tokens are never lost or duplicated.
+type participant struct {
+	parked atomic.Bool
+	wake   chan struct{}
+	_      [56]byte // keep hot flags off each other's cache line
+}
+
+// phasePool executes cycles across persistent workers with one wakeup per
+// cycle. The driver publishes the cycle and bumps the epoch counter; every
+// participant (driver included) evaluates its shard, arrives at the
+// evaluate barrier, commits its shard, and arrives at the cycle barrier.
+// Both barriers are monotone atomic counters — generation g is complete
+// when a counter reaches g*nw — so they are never reset and need no
+// coordination beyond the counter itself. Waiters spin briefly, then yield,
+// then park; the last arriver wakes anyone parked.
+type phasePool struct {
+	units  []unit
+	nw     int
+	assign [][]int       // per participant: owned unit indices
+	flat   [][]Component // per participant: owned components, flattened for the non-profiling hot loop
+	parts  []*participant
+
+	gen    uint64 // driver-only generation counter
+	cycle  uint64 // published before the epoch store, read after its load
+	sample bool   // this cycle is a profiling cycle
+	// inline executes every shard on the driver: with GOMAXPROCS=1 the host
+	// cannot overlap shards, so the barriers would buy nothing but context
+	// switches (~1.2µs/cycle measured). Results are bit-identical either
+	// way — phases are isolated by construction — so -workers is never a
+	// pessimization on a constrained host. Decided at pool start; a reshard
+	// re-samples GOMAXPROCS.
+	inline bool
+	// inlineAll is the inline-mode dispatch list: every component in
+	// registration order, one contiguous slice — LPT shard order would
+	// stride through memory, and a per-unit loop costs ~20%/cycle when
+	// units are mostly singletons.
+	inlineAll []Component
+
+	epoch   atomic.Uint64 // workers run cycle g once epoch >= g
+	evalN   atomic.Uint64 // arrivals at the evaluate barrier, monotone
+	doneN   atomic.Uint64 // arrivals at the end-of-cycle barrier, monotone
+	stopped atomic.Bool
+
+	fastSpin, yieldSpin int
+
+	// Rebalancing state (driver-only between cycles).
+	load       []float64
+	order      []int
+	sorter     *costSorter
+	rebalances uint64
+	migrations uint64
+	cleanup    runtime.Cleanup
+}
+
+// newPhasePool builds the pool, packs the initial shards from the seeded
+// costs, and launches nw-1 worker goroutines (the driver is participant 0).
+func newPhasePool(units []unit, nw int) *phasePool {
+	p := &phasePool{
+		units:  units,
+		nw:     nw,
+		assign: make([][]int, nw),
+		flat:   make([][]Component, nw),
+		parts:  make([]*participant, nw),
+		load:   make([]float64, nw),
+		order:  make([]int, len(units)),
+	}
+	p.sorter = &costSorter{p: p}
+	ncomps := 0
+	for i := range units {
+		ncomps += len(units[i].comps)
+	}
+	for i := range p.assign {
+		// Full capacity up front: rebalancing must never allocate, even if
+		// every unit lands on one shard.
+		p.assign[i] = make([]int, 0, len(units))
+		p.flat[i] = make([]Component, 0, ncomps)
+	}
+	for i := range p.parts {
+		p.parts[i] = &participant{wake: make(chan struct{}, 1)}
+	}
+	for i := range p.units {
+		p.units[i].owner = -1
+	}
+	p.repack()
+	if runtime.GOMAXPROCS(0) < 2 {
+		p.inline = true
+		p.inlineAll = make([]Component, 0, ncomps)
+		for i := range units {
+			p.inlineAll = append(p.inlineAll, units[i].comps...)
+		}
+		return p
+	}
+	// A host with spare cores can afford to burn cycles busy-waiting at the
+	// barriers; an oversubscribed one must yield immediately so the sibling
+	// shards actually run.
+	if runtime.GOMAXPROCS(0) >= nw {
+		p.fastSpin, p.yieldSpin = 2048, 64
+	} else {
+		p.fastSpin, p.yieldSpin = 0, 128
+	}
+	for i := 1; i < nw; i++ {
+		go p.workerLoop(i)
+	}
+	return p
+}
+
+// step runs one full cycle (evaluate, barrier, commit, barrier) and returns
+// with every shard committed. Driver-only.
+func (p *phasePool) step(cyc uint64) {
+	if p.inline {
+		for _, c := range p.inlineAll {
+			c.Evaluate(cyc)
+		}
+		for _, c := range p.inlineAll {
+			c.Commit(cyc)
+		}
+		return
+	}
+	p.gen++
+	g := p.gen
+	p.cycle = cyc
+	p.sample = cyc%sampleEvery == 0
+	p.epoch.Store(g)
+	p.wakeOthers(0)
+	p.runCycle(0, g)
+	p.waitCounter(&p.doneN, g*uint64(p.nw), 0)
+	if cyc%rebalanceEvery == rebalanceEvery-1 {
+		p.maybeRebalance()
+	}
+}
+
+// workerLoop is the persistent body of participants 1..nw-1.
+func (p *phasePool) workerLoop(self int) {
+	for g := uint64(1); ; g++ {
+		p.waitCounter(&p.epoch, g, self)
+		if p.stopped.Load() {
+			return
+		}
+		p.runCycle(self, g)
+	}
+}
+
+// runCycle executes one participant's share of generation g: evaluate own
+// units, barrier, commit own units, arrive. Workers fall out to wait for the
+// next epoch; the driver's matching wait happens in step.
+func (p *phasePool) runCycle(self int, g uint64) {
+	cyc := p.cycle
+	target := g * uint64(p.nw)
+	if p.sample {
+		for _, ui := range p.assign[self] {
+			u := &p.units[ui]
+			t0 := time.Now()
+			for _, c := range u.comps {
+				c.Evaluate(cyc)
+			}
+			u.sampleNs += float64(time.Since(t0))
+		}
+	} else {
+		for _, c := range p.flat[self] {
+			c.Evaluate(cyc)
+		}
+	}
+	if p.evalN.Add(1) == target {
+		p.wakeOthers(self)
+	} else {
+		p.waitCounter(&p.evalN, target, self)
+	}
+	if p.sample {
+		for _, ui := range p.assign[self] {
+			u := &p.units[ui]
+			t0 := time.Now()
+			for _, c := range u.comps {
+				c.Commit(cyc)
+			}
+			u.sampleNs += float64(time.Since(t0))
+			u.sampleCnt++
+		}
+	} else {
+		for _, c := range p.flat[self] {
+			c.Commit(cyc)
+		}
+	}
+	if p.doneN.Add(1) == target {
+		p.wakeOthers(self)
+	}
+}
+
+// waitCounter blocks participant self until ctr reaches target: a bounded
+// busy-spin, then yield-spins, then a futex-style park. Spurious wakeups
+// (a stale token from an earlier barrier) simply re-enter the loop.
+func (p *phasePool) waitCounter(ctr *atomic.Uint64, target uint64, self int) {
+	for n := 0; n < p.fastSpin; n++ {
+		if ctr.Load() >= target {
+			return
+		}
+	}
+	w := p.parts[self]
+	for {
+		for n := 0; n < p.yieldSpin; n++ {
+			if ctr.Load() >= target {
+				return
+			}
+			runtime.Gosched()
+		}
+		w.parked.Store(true)
+		if ctr.Load() >= target {
+			if w.parked.CompareAndSwap(true, false) {
+				return
+			}
+			// A waker claimed us between the store and the CAS; its token
+			// is in flight and must be consumed before the next park.
+		}
+		<-w.wake
+		if ctr.Load() >= target {
+			return
+		}
+	}
+}
+
+// wakeOthers unparks every parked participant except self. The CAS makes
+// each in-flight token exclusive: only the goroutine that flips parked
+// true→false may send, and the parked participant consumes exactly one.
+func (p *phasePool) wakeOthers(self int) {
+	for i, w := range p.parts {
+		if i == self {
+			continue
+		}
+		if w.parked.CompareAndSwap(true, false) {
+			w.wake <- struct{}{}
+		}
+	}
+}
+
+// stop terminates the worker goroutines. Idempotent; safe from the driver
+// between cycles and from the kernel's GC cleanup (which only fires once no
+// goroutine can be mid-cycle).
+func (p *phasePool) stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	p.cleanup.Stop()
+	p.epoch.Add(1)
+	p.wakeOthers(0)
+}
+
+// maybeRebalance folds the profiling samples into the EWMA costs and repacks
+// the shards when the heaviest one exceeds the mean by imbalanceTrigger.
+// Driver-only, between cycles; the epoch store publishes the new assignment
+// to the workers. Allocation-free: every buffer was sized at pool start.
+func (p *phasePool) maybeRebalance() {
+	total := 0.0
+	for i := range p.units {
+		u := &p.units[i]
+		if u.sampleCnt > 0 {
+			s := u.sampleNs / float64(u.sampleCnt)
+			if u.seeded {
+				u.cost = ewmaOld*u.cost + (1-ewmaOld)*s
+			} else {
+				// First real measurement replaces the static seed outright —
+				// the two are not in the same unit system.
+				u.cost, u.seeded = s, true
+			}
+			u.sampleNs, u.sampleCnt = 0, 0
+		}
+		total += u.cost
+	}
+	if total <= 0 {
+		return
+	}
+	maxLoad := 0.0
+	for w := 0; w < p.nw; w++ {
+		l := 0.0
+		for _, ui := range p.assign[w] {
+			l += p.units[ui].cost
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if maxLoad <= imbalanceTrigger*(total/float64(p.nw)) {
+		return
+	}
+	p.repack()
+}
+
+// repack reassigns units to shards longest-processing-time-first: units in
+// descending cost order, each onto the currently lightest shard. Ties break
+// deterministically (stable sort, lowest shard index), though assignment
+// never affects simulation results — phases are isolated by construction.
+func (p *phasePool) repack() {
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.Stable(p.sorter)
+	for w := range p.assign {
+		p.assign[w] = p.assign[w][:0]
+		p.load[w] = 0
+	}
+	moved := uint64(0)
+	for _, ui := range p.order {
+		best := 0
+		for w := 1; w < p.nw; w++ {
+			if p.load[w] < p.load[best] {
+				best = w
+			}
+		}
+		p.assign[best] = append(p.assign[best], ui)
+		p.load[best] += p.units[ui].cost
+		if p.units[ui].owner != int32(best) {
+			if p.units[ui].owner >= 0 {
+				moved++
+			}
+			p.units[ui].owner = int32(best)
+		}
+	}
+	for w := range p.flat {
+		p.flat[w] = p.flat[w][:0]
+		for _, ui := range p.assign[w] {
+			p.flat[w] = append(p.flat[w], p.units[ui].comps...)
+		}
+	}
+	p.rebalances++
+	p.migrations += moved
+}
+
+// costSorter orders pool.order by descending unit cost (stable, so equal
+// costs keep first-appearance order).
+type costSorter struct{ p *phasePool }
+
+func (s *costSorter) Len() int { return len(s.p.order) }
+func (s *costSorter) Less(i, j int) bool {
+	return s.p.units[s.p.order[i]].cost > s.p.units[s.p.order[j]].cost
+}
+func (s *costSorter) Swap(i, j int) {
+	s.p.order[i], s.p.order[j] = s.p.order[j], s.p.order[i]
+}

@@ -1,0 +1,89 @@
+package system
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"scorpio/internal/trace"
+)
+
+// warmScorpioMesh builds a seeded SCORPIO machine on a w×h mesh whose
+// injectors never drain (WorkPerCore is effectively infinite), applies the
+// worker count, and steps past ring/pool warmup so a measured window covers
+// the steady-state hot path only.
+func warmScorpioMesh(tb testing.TB, w, h, workers int) *Scorpio {
+	tb.Helper()
+	prof, err := trace.ByName("fft")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	opt := DefaultOptions(prof)
+	opt.Core = opt.Core.WithMeshSize(w, h)
+	opt.WorkPerCore = 1 << 40 // never drains: the machine stays loaded
+	opt.Workers = workers
+	s, err := NewScorpio(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.Kernel.Run(600) // free lists, VC rings and the phase pool settle
+	return s
+}
+
+// BenchmarkKernelThroughputMesh measures kernel stepping speed over the real
+// SCORPIO machine — cores, L2s, notification tree and the ordered mesh — as
+// opposed to BenchmarkKernelThroughput's synthetic component graph. One
+// subbenchmark per (mesh size, worker count) so the report carries the full
+// scaling curve; cycles/s is the honest figure of merit (ns/op is per
+// simulated cycle).
+func BenchmarkKernelThroughputMesh(b *testing.B) {
+	meshes := []struct{ w, h int }{{6, 6}, {10, 10}, {16, 16}}
+	for _, m := range meshes {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mesh=%dx%d/workers=%d", m.w, m.h, workers), func(b *testing.B) {
+				s := warmScorpioMesh(b, m.w, m.h, workers)
+				defer s.Kernel.StopWorkers()
+				b.ResetTimer()
+				s.Kernel.Run(uint64(b.N))
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "cycles/s")
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSpeedupGuard is the benchsmoke gate's regression tripwire: on a
+// multi-core host, stepping a warm 6×6 machine with workers=NumCPU must not
+// be slower than the serial path beyond a CI-jitter allowance. It only runs
+// when the Makefile sets SCORPIO_SPEEDUP_GUARD=1 (a measurement inside the
+// ordinary test suite would be pure noise), and it skips on single-CPU hosts,
+// where the pool runs shards inline on the driver and there is no parallelism
+// to guard.
+func TestParallelSpeedupGuard(t *testing.T) {
+	if os.Getenv("SCORPIO_SPEEDUP_GUARD") == "" {
+		t.Skip("speedup guard runs from `make benchsmoke` (SCORPIO_SPEEDUP_GUARD=1)")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU host: the phase pool runs shards inline, no parallel speedup to guard")
+	}
+	measure := func(workers int) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			s := warmScorpioMesh(b, 6, 6, workers)
+			defer s.Kernel.StopWorkers()
+			b.ResetTimer()
+			s.Kernel.Run(uint64(b.N))
+		})
+		return float64(r.NsPerOp())
+	}
+	serial := measure(1)
+	par := measure(runtime.NumCPU())
+	const headroom = 1.25 // CI jitter allowance
+	if par > serial*headroom {
+		t.Fatalf("workers=%d stepped at %.0f ns/cycle vs %.0f serial (more than %.2fx): the parallel kernel stopped paying",
+			runtime.NumCPU(), par, serial, headroom)
+	}
+	t.Logf("serial %.0f ns/cycle, workers=%d %.0f ns/cycle", serial, runtime.NumCPU(), par)
+}

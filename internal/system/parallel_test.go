@@ -36,6 +36,7 @@ func parallelRun(t *testing.T, workers int) Results {
 // statistics on the serial path and at 1, 2 and 8 workers. Run under -race
 // this also proves the sharded evaluate/commit phases are data-race free.
 func TestParallelDeterminism(t *testing.T) {
+	forceProcs(t, 4)
 	serial := parallelRun(t, 0)
 	if serial.Completed == 0 || serial.Service.Count == 0 {
 		t.Fatalf("degenerate reference run: %+v", serial)
@@ -51,6 +52,7 @@ func TestParallelDeterminism(t *testing.T) {
 // TestParallelDeterminismDirectory covers the directory machine's sharding
 // (one unit per node: injector, L2, home slice, NIC).
 func TestParallelDeterminismDirectory(t *testing.T) {
+	forceProcs(t, 4)
 	run := func(workers int) Results {
 		prof, err := trace.ByName("lu")
 		if err != nil {
@@ -86,6 +88,7 @@ func TestParallelDeterminismDirectory(t *testing.T) {
 // TestParallelDeterminismWithL1 exercises the tile layer (AHB + split L1s) in
 // the node scheduling unit.
 func TestParallelDeterminismWithL1(t *testing.T) {
+	forceProcs(t, 4)
 	run := func(workers int) Results {
 		prof, err := trace.ByName("barnes")
 		if err != nil {

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"runtime"
 	"testing"
 
 	"scorpio/internal/noc"
@@ -14,7 +15,18 @@ import (
 // warmMesh builds a loaded 6×6 mesh and runs it past the pool/ring warmup
 // point so a subsequent step window measures the steady-state hot path only.
 func warmMesh(t *testing.T) (*sim.Kernel, *noc.Mesh) {
+	return warmMeshWorkers(t, 1)
+}
+
+// warmMeshWorkers is warmMesh with a kernel worker count; workers > 1 pins
+// GOMAXPROCS up for the test so the phase pool picks its concurrent mode
+// even on a single-CPU host, and warms the pool before the caller measures.
+func warmMeshWorkers(t *testing.T, workers int) (*sim.Kernel, *noc.Mesh) {
 	t.Helper()
+	if workers > 1 {
+		old := runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
 	cfg := Config{
 		Net:           noc.DefaultConfig(), // 6×6
 		Pattern:       UniformRandom,
@@ -45,6 +57,7 @@ func warmMesh(t *testing.T) (*sim.Kernel, *noc.Mesh) {
 		k.Register(nodes[i])
 	}
 	mesh.Register(k)
+	k.SetWorkers(workers)
 
 	// Prime the pools past their steady-state bounds: a pool's deficit is
 	// capped by in-flight inventory, but the first excursion to each new
@@ -114,6 +127,51 @@ func TestMeshSteadyStateAllocsAuditorAttached(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("audited warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	if a.FlitsChecked() == 0 {
+		t.Fatal("auditor verified no flit deliveries under load")
+	}
+	if a.Violated() {
+		t.Fatalf("healthy synthetic traffic flagged: %s", a.Report())
+	}
+}
+
+// TestMeshSteadyStateAllocsParallel extends the 0-allocs/step pin to the
+// parallel kernel: with the mesh sharded over 4 workers the steady-state
+// step must still never touch the heap — the phase pool's barriers are
+// atomics, its profiling cycles are two clock reads per unit, and a
+// cost-balancing repack reuses buffers sized at pool start.
+func TestMeshSteadyStateAllocsParallel(t *testing.T) {
+	k, _ := warmMeshWorkers(t, 4)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// TestMeshSteadyStateAllocsParallelObserved is the full-load version: 4
+// workers with both the lifecycle tracer and the online auditor attached,
+// still 0 allocs/step.
+func TestMeshSteadyStateAllocsParallelObserved(t *testing.T) {
+	k, mesh := warmMeshWorkers(t, 4)
+	tr := obs.NewTracer(1 << 14)
+	mesh.SetTracer(tr)
+	a := audit.New(36, audit.Options{}, nil)
+	mesh.SetAuditor(a)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("observed parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no events under load")
 	}
 	if a.FlitsChecked() == 0 {
 		t.Fatal("auditor verified no flit deliveries under load")
