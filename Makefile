@@ -1,7 +1,7 @@
 GO ?= go
 
 # Bump per PR that re-baselines the benchmark report.
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
 .PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke
 
@@ -16,16 +16,19 @@ vet:
 	$(GO) vet ./...
 
 # The parallel kernel's data-race guard: short-mode race run over the
-# packages that execute under the worker pool.
+# packages that execute under the worker pool. traffic is included because
+# its parallel tests exercise the activity engine's park/wake churn across
+# shards, the path most likely to hide an ordering race.
 race:
-	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc
+	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc ./internal/traffic
 
 # The full local CI gate.
 check: vet test race benchsmoke tracesmoke auditsmoke
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
-# network-only router benchmark, the raw kernel stepping benchmark, and the
-# real-mesh kernel throughput curve (mesh size × worker count), with
+# network-only router benchmark, the raw kernel stepping benchmark, the
+# real-mesh kernel throughput curve (mesh size × worker count), and the
+# activity-engine curve (mesh size × injection rate × skip on/off), with
 # allocation counting, aggregated into a JSON baseline (see cmd/benchjson).
 bench:
 	( $(GO) test -bench 'BenchmarkFig6aNormalizedRuntime$$|BenchmarkRouterThroughput$$' \
@@ -33,7 +36,9 @@ bench:
 	  $(GO) test -bench 'BenchmarkKernelThroughput' \
 		-benchmem -count=3 -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench 'BenchmarkKernelThroughputMesh' \
-		-benchmem -count=3 -run '^$$' ./internal/system ) \
+		-benchmem -count=3 -run '^$$' ./internal/system ; \
+	  $(GO) test -bench 'BenchmarkKernelThroughputIdle' \
+		-benchmem -count=3 -run '^$$' ./internal/traffic ) \
 	| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
@@ -42,12 +47,16 @@ bench:
 # RouterThroughput pattern also runs the traced variant, so tracing-on is
 # exercised on every check. The final line is the parallel-speedup guard:
 # on a multi-core host, workers=NumCPU must not step a warm mesh slower
-# than serial (the test skips itself on single-CPU machines).
+# than serial (the test skips itself on single-CPU machines). The idle-skip
+# guard after it holds the activity engine to its design bounds: >= 2x
+# cycles/s on a near-idle mesh, <= 5% overhead at saturation.
 benchsmoke:
 	$(GO) test -bench 'BenchmarkRouterThroughput' -benchmem -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkKernelThroughput' -benchmem -benchtime 1x -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkKernelThroughputMesh/mesh=6x6' -benchmem -benchtime 1x -run '^$$' ./internal/system
+	$(GO) test -bench 'BenchmarkKernelThroughputIdle/mesh=6x6' -benchmem -benchtime 1x -run '^$$' ./internal/traffic
 	SCORPIO_SPEEDUP_GUARD=1 $(GO) test -run 'TestParallelSpeedupGuard$$' -v ./internal/system
+	SCORPIO_IDLESKIP_GUARD=1 $(GO) test -run 'TestIdleSkipSpeedupGuard$$' -v ./internal/traffic
 
 # The trace-format smoke: produce a lifecycle trace from a short 36-core run
 # and validate it parses as Chrome trace-event JSON with at least one fully

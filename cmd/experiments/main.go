@@ -25,6 +25,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced workloads (CI-sized)")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		noSkip  = flag.Bool("no-idle-skip", false, "step every component every cycle (disable the activity engine; results are identical)")
 
 		tracePath  = flag.String("trace", "", "run one traced SCORPIO point and write Chrome trace-event JSON to this path")
 		metricsIvl = flag.Uint64("metrics-interval", 0, "metrics sampling interval for the traced point (0 = off)")
@@ -65,6 +66,7 @@ func main() {
 	scale.Workers = *workers
 	scale.WatchdogCycles = *watchdog
 	scale.Audit = *audit
+	scale.DisableIdleSkip = *noSkip
 
 	if *tracePath != "" {
 		// One dedicated traced 36-core SCORPIO run; the sweeps below stay

@@ -54,7 +54,9 @@ func TestINSOExpiryBroadcastAccounting(t *testing.T) {
 	o.Evaluate(20)
 	sent := 0
 	for node := 0; node < 4; node++ {
-		for o.TakeExpiryBroadcast(node) {
+		// Expiries created at cycle 20 become consumable one cycle later
+		// (uniform visibility delay; see TakeExpiryBroadcast).
+		for o.TakeExpiryBroadcast(node, 21) {
 			sent++
 		}
 	}

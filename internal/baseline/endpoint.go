@@ -31,6 +31,7 @@ import (
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
+	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 )
 
@@ -53,8 +54,10 @@ type Endpoint struct {
 	mesh    *noc.Mesh
 	agent   nic.Agent
 	orderer Orderer
-	// expiry, when set (INSO), supplies owed expiry broadcasts.
-	expiry interface{ TakeExpiryBroadcast(node int) bool }
+	// expiry, when set (INSO), supplies owed expiry broadcasts. OwesExpiry
+	// keeps the endpoint awake while a broadcast is owed but not yet
+	// consumable (see ExpirySource).
+	expiry ExpirySource
 
 	tr       *noc.OutputTracker
 	reqQ     ring.Ring[*noc.Packet]
@@ -82,6 +85,20 @@ type Endpoint struct {
 	// for the online order/coherence monitor.
 	tracer  *obs.Tracer
 	auditor *audit.Auditor
+
+	// now is the cycle of the last Evaluate; Idle() uses it to check the
+	// links for values committed this cycle (see sim.Idler).
+	now uint64
+}
+
+// ExpirySource supplies INSO's owed expiry broadcasts. TakeExpiryBroadcast
+// consumes one owed broadcast for the node when one is visible at the given
+// cycle; OwesExpiry reports whether any broadcast is owed at all (visible or
+// not) — the endpoint's idle check, so it stays schedulable until the debt
+// is paid.
+type ExpirySource interface {
+	TakeExpiryBroadcast(node int, cycle uint64) bool
+	OwesExpiry(node int) bool
 }
 
 type reorderEntry struct {
@@ -185,8 +202,33 @@ func (e *Endpoint) SetAuditor(a *audit.Auditor) { e.auditor = a }
 
 // SetExpirySource wires the INSO orderer's expiry broadcasts through this
 // endpoint's injection port.
-func (e *Endpoint) SetExpirySource(s interface{ TakeExpiryBroadcast(node int) bool }) {
+func (e *Endpoint) SetExpirySource(s ExpirySource) {
 	e.expiry = s
+}
+
+// BindActivity wires the endpoint's scheduling unit as the wake target of
+// its mesh links: inject-link credits and eject-link flits both wake it.
+func (e *Endpoint) BindActivity(a *sim.Activity) {
+	e.mesh.InjectLink(e.node).SetCreditWake(a)
+	e.mesh.EjectLink(e.node).SetFlitWake(a)
+}
+
+// Idle implements sim.Idler: the endpoint may be skipped while it holds no
+// packets, owes no expiry broadcast, and no value is in flight on its links.
+func (e *Endpoint) Idle() bool {
+	if e.HasPendingWork() {
+		return false
+	}
+	if e.expiry != nil && e.expiry.OwesExpiry(e.node) {
+		return false
+	}
+	if e.mesh.EjectLink(e.node).FlitPendingAt(e.now) {
+		return false
+	}
+	if e.mesh.InjectLink(e.node).CreditsPendingAt(e.now) {
+		return false
+	}
+	return true
 }
 
 // ExpectedSID implements noc.ESIDProvider; baselines do not use reserved
@@ -211,7 +253,8 @@ func (e *Endpoint) SendResponse(p *noc.Packet) bool {
 
 // Evaluate runs one endpoint cycle.
 func (e *Endpoint) Evaluate(cycle uint64) {
-	for _, c := range e.mesh.InjectLink(e.node).Credits() {
+	e.now = cycle
+	for _, c := range e.mesh.InjectLink(e.node).Credits(cycle) {
 		e.tr.ProcessCredit(c)
 		e.pool.Put(c.Carcass)
 	}
@@ -237,7 +280,7 @@ func (e *Endpoint) Commit(cycle uint64) {
 	// Owed INSO expiry broadcasts consume real request-class bandwidth.
 	// Expiry packets stay heap-allocated: a broadcast is one shared object
 	// delivered at every node, so no single endpoint may recycle it.
-	if e.expiry != nil && e.expiry.TakeExpiryBroadcast(e.node) {
+	if e.expiry != nil && e.expiry.TakeExpiryBroadcast(e.node, cycle) {
 		e.reqQ.Push(&noc.Packet{
 			ID: e.mesh.NextPacketID(), VNet: noc.GOReq, Src: e.node, SID: e.node,
 			Broadcast: true, Flits: 1, Kind: KindExpiry, SrcSeq: ^uint64(0), InjectCycle: cycle,
@@ -249,13 +292,13 @@ func (e *Endpoint) Commit(cycle uint64) {
 // assembly registers (responses), returning credits immediately.
 func (e *Endpoint) receive(cycle uint64) {
 	ej := e.mesh.EjectLink(e.node)
-	f := ej.Flit()
+	f := ej.Flit(cycle)
 	if f == nil {
 		return
 	}
 	switch f.Pkt.VNet {
 	case noc.GOReq:
-		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true, Carcass: e.pool.TakeFree()})
+		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true, Carcass: e.pool.TakeFree()}, cycle)
 		if f.Pkt.Kind != KindExpiry {
 			if e.tracer != nil {
 				e.tracer.Record(obs.Event{
@@ -270,7 +313,7 @@ func (e *Endpoint) receive(cycle uint64) {
 			e.reorder.put(f.Pkt.SrcSeq, reorderEntry{pkt: f.Pkt, arrive: cycle})
 		}
 	case noc.UOResp:
-		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: e.pool.TakeFree()})
+		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: e.pool.TakeFree()}, cycle)
 		as := &e.respAsm[f.InVC()]
 		if as.pkt == nil {
 			as.pkt = f.Pkt
@@ -358,7 +401,7 @@ func (e *Endpoint) inject(cycle uint64) {
 			return
 		}
 		e.tr.ChargeBody(e.inFlight.VNet, e.curVC)
-		e.send(e.inFlight, e.nextSeq)
+		e.send(e.inFlight, e.nextSeq, cycle)
 		e.nextSeq++
 		if e.nextSeq == e.inFlight.Flits {
 			e.inFlight = nil
@@ -379,7 +422,7 @@ func (e *Endpoint) inject(cycle uint64) {
 					Port: -1, VNet: int8(noc.GOReq), VC: int16(vc),
 				})
 			}
-			e.send(p, 0)
+			e.send(p, 0, cycle)
 			e.reqQ.PopFront()
 		}
 		return
@@ -398,7 +441,7 @@ func (e *Endpoint) inject(cycle uint64) {
 					Port: -1, VNet: int8(noc.UOResp), VC: int16(vc),
 				})
 			}
-			e.send(p, 0)
+			e.send(p, 0, cycle)
 			e.respQ.PopFront()
 			if p.Flits > 1 {
 				e.inFlight = p
@@ -408,8 +451,8 @@ func (e *Endpoint) inject(cycle uint64) {
 	}
 }
 
-func (e *Endpoint) send(p *noc.Packet, seq int) {
-	e.mesh.InjectLink(e.node).Send(e.pool.Get(p, seq, e.curVC))
+func (e *Endpoint) send(p *noc.Packet, seq int, cycle uint64) {
+	e.mesh.InjectLink(e.node).Send(e.pool.Get(p, seq, e.curVC), cycle)
 }
 
 // HasPendingWork reports whether the endpoint holds any packet that has not

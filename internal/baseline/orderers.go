@@ -1,5 +1,7 @@
 package baseline
 
+import "scorpio/internal/sim"
+
 // KindExpiry marks INSO expiry broadcasts; endpoints drop them on arrival
 // (their cost is the network bandwidth they consumed). The value is disjoint
 // from the coherence message kinds by construction of the baseline systems.
@@ -34,6 +36,11 @@ func (t *TokenB) Evaluate(cycle uint64) {}
 // Commit implements sim.Component.
 func (t *TokenB) Commit(cycle uint64) {}
 
+// Idle implements sim.Idler: the oracle sequencer is pure demand-driven
+// state (AssignKey is called from endpoint commits), so its own cycle work
+// is always skippable.
+func (t *TokenB) Idle() bool { return true }
+
 // expiryRange is a visible-after-delay range of expired INSO slots.
 type expiryRange struct {
 	from, to  uint64 // slot indexes [from, to)
@@ -52,6 +59,18 @@ type INSO struct {
 	nextSlot []uint64
 	expiries [][]expiryRange
 	pending  []int // expiry broadcasts owed per node
+	// pendingSince stamps the cycle a node's owed count last grew; an owed
+	// broadcast becomes consumable the cycle after (uniform one-cycle
+	// visibility, so a parked endpoint woken at stamp+1 injects on exactly
+	// the same cycle a never-parked one does).
+	pendingSince []uint64
+
+	// Activity wiring: endAct[s] is node s's endpoint scheduling unit, woken
+	// when the node starts owing an expiry broadcast; self is INSO's own
+	// unit, woken (by AssignKey) for the window boundary after an injection
+	// breaks slot-pointer equality.
+	endAct []*sim.Activity
+	self   *sim.Activity
 
 	// Stats
 	ExpiredSlots    uint64
@@ -63,20 +82,39 @@ type INSO struct {
 // window in cycles (the paper sweeps 20, 40 and 80).
 func NewINSO(nodes, window int, diameter int) *INSO {
 	return &INSO{
-		nodes:    nodes,
-		window:   window,
-		delay:    uint64(diameter),
-		nextSlot: make([]uint64, nodes),
-		expiries: make([][]expiryRange, nodes),
-		pending:  make([]int, nodes),
+		nodes:        nodes,
+		window:       window,
+		delay:        uint64(diameter),
+		nextSlot:     make([]uint64, nodes),
+		expiries:     make([][]expiryRange, nodes),
+		pending:      make([]int, nodes),
+		pendingSince: make([]uint64, nodes),
+		endAct:       make([]*sim.Activity, nodes),
 	}
 }
 
-// AssignKey implements Orderer: the source's next owned order.
+// SetEndpointActivity wires node's endpoint scheduling unit so INSO can wake
+// it when the node starts owing an expiry broadcast.
+func (o *INSO) SetEndpointActivity(node int, a *sim.Activity) { o.endAct[node] = a }
+
+// BindActivity wires INSO's own scheduling unit (the AssignKey self-wake
+// target).
+func (o *INSO) BindActivity(a *sim.Activity) { o.self = a }
+
+// nextBoundary returns the first window boundary strictly after cycle.
+func (o *INSO) nextBoundary(cycle uint64) uint64 {
+	w := uint64(o.window)
+	return (cycle/w + 1) * w
+}
+
+// AssignKey implements Orderer: the source's next owned order. Advancing one
+// source's slot pointer creates lag everywhere else, so INSO wakes itself for
+// the next window boundary where that lag turns into expiries.
 func (o *INSO) AssignKey(node int, cycle uint64) uint64 {
 	k := o.nextSlot[node]
 	o.nextSlot[node]++
 	o.RealRequests++
+	o.self.Wake(o.nextBoundary(cycle))
 	return uint64(node) + uint64(o.nodes)*k
 }
 
@@ -118,21 +156,51 @@ func (o *INSO) Evaluate(cycle uint64) {
 		o.expiries[s] = append(o.expiries[s], expiryRange{from: from, to: to, visibleAt: cycle + o.delay})
 		o.ExpiredSlots += to - from
 		o.pending[s]++
+		o.pendingSince[s] = cycle
+		o.endAct[s].Wake(cycle + 1)
 	}
 }
 
 // Commit implements sim.Component.
 func (o *INSO) Commit(cycle uint64) {}
 
-// TakeExpiryBroadcast reports whether the node owes an expiry broadcast and
-// consumes it; the endpoint injects the real packet.
-func (o *INSO) TakeExpiryBroadcast(node int) bool {
-	if o.pending[node] > 0 {
+// TakeExpiryBroadcast reports whether the node owes a consumable expiry
+// broadcast and consumes it; the endpoint injects the real packet. An owed
+// broadcast is consumable starting the cycle after it was created (see
+// pendingSince), which makes consumption timing independent of whether the
+// endpoint was parked when the debt appeared.
+func (o *INSO) TakeExpiryBroadcast(node int, cycle uint64) bool {
+	if o.pending[node] > 0 && cycle > o.pendingSince[node] {
 		o.pending[node]--
 		o.ExpiryBroadcast++
 		return true
 	}
 	return false
+}
+
+// OwesExpiry implements ExpirySource: node still owes broadcasts (visible or
+// not), so its endpoint must stay schedulable.
+func (o *INSO) OwesExpiry(node int) bool { return o.pending[node] > 0 }
+
+// Idle implements sim.Idler: at a window boundary INSO only acts when some
+// source's slot pointer lags the fastest; with all pointers equal nothing
+// can expire until an AssignKey (whose self-wake re-arms the boundary).
+func (o *INSO) Idle() bool {
+	for _, k := range o.nextSlot[1:] {
+		if k != o.nextSlot[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the next window boundary while
+// slot pointers are unequal, nothing otherwise.
+func (o *INSO) NextEventCycle(cycle uint64) uint64 {
+	if o.Idle() {
+		return sim.NoEvent
+	}
+	return o.nextBoundary(cycle)
 }
 
 // ExpiryRatio reports expiry broadcasts per real request (the paper's 25x

@@ -175,6 +175,7 @@ type L2Controller struct {
 	sendQ      []pendingSend
 	coreQ      []coreReq
 	stagedCore []coreReq
+	now        uint64 // cycle of the last Evaluate (idle-check reference)
 	busyUntil  uint64
 	reqIDNext  uint64
 	Stats      Stats
@@ -215,7 +216,7 @@ func NewL2(node int, cfg Config, n NetPort, newID func() uint64, mm MemMap) *L2C
 		nic:    n,
 		newID:  newID,
 		memMap: mm,
-		arr: cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
+		arr:    cache.NewArrayBytes(cfg.CapacityBytes, cfg.LineBytes, cfg.Ways),
 		// values converges to roughly the cache's line count (plus lines seen
 		// and evicted); pre-size it so warm-up growth is cheap.
 		values: make(map[uint64]uint64, cfg.CapacityBytes/cfg.LineBytes*2),
@@ -485,6 +486,7 @@ func (l *L2Controller) AcceptResponse(p *noc.Packet, cycle uint64) bool {
 // Evaluate runs one controller cycle: inject retries, response sends,
 // completion checks and core-request processing.
 func (l *L2Controller) Evaluate(cycle uint64) {
+	l.now = cycle
 	l.drainSendQ(cycle)
 	l.retryInjects(cycle)
 	l.checkCompletions(cycle)
@@ -497,6 +499,49 @@ func (l *L2Controller) Commit(cycle uint64) {
 		l.coreQ = append(l.coreQ, l.stagedCore...)
 		l.stagedCore = l.stagedCore[:0]
 	}
+}
+
+// Idle implements sim.Idler: the controller may be skipped while it has no
+// transaction in any stage — no queued or staged core requests, no active
+// MSHR, no writeback in flight, and no ripe scheduled response. A scheduled
+// response whose readyAt is still in the future (a sharer serving a snoop
+// after the array access latency) permits parking; NextEventCycle names the
+// send cycle. Every other term either makes Evaluate a no-op or is
+// re-established only while this tile's unit is running (core requests and
+// NIC deliveries both happen inside it).
+func (l *L2Controller) Idle() bool {
+	if len(l.stagedCore) > 0 || len(l.coreQ) > 0 || len(l.wbs) > 0 {
+		return false
+	}
+	for i := range l.mshrs {
+		if l.mshrs[i].active {
+			return false
+		}
+	}
+	for i := range l.sendQ {
+		if l.sendQ[i].readyAt <= l.now {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the earliest scheduled
+// response send.
+func (l *L2Controller) NextEventCycle(cycle uint64) uint64 {
+	next := uint64(0)
+	for i := range l.sendQ {
+		if r := l.sendQ[i].readyAt; next == 0 || r < next {
+			next = r
+		}
+	}
+	if next == 0 {
+		return ^uint64(0)
+	}
+	if next <= cycle {
+		return cycle + 1
+	}
+	return next
 }
 
 // drainSendQ injects scheduled responses whose latency elapsed.

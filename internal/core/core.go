@@ -109,12 +109,21 @@ func NewOrderedNet(cfg Config, k *sim.Kernel) (*OrderedNet, error) {
 		// The NIC shares a scheduling unit with the node's agents (L2,
 		// memory controller, injector): a delivery calls straight into
 		// them, so the kernel must never split the node across workers.
-		k.RegisterGroup(node, n)
+		act := k.RegisterGroup(node, n)
+		// The node's unit is woken by its link traffic and by notification
+		// deliveries.
+		n.BindActivity(act)
+		nnet.SetSourceActivity(node, act)
 	}
 	for _, mesh := range meshes {
 		mesh.Register(k)
 	}
-	k.Register(nnet)
+	nnetAct := k.Register(nnet)
+	for _, n := range on.nics {
+		// NICs holding a pending offer wake the OR-mesh for the sampling
+		// window start.
+		n.SetNotifActivity(nnetAct)
+	}
 	return on, nil
 }
 

@@ -146,6 +146,7 @@ type Home struct {
 	// not reallocate.
 	timerScratch []timer
 	sendQ        []pendingSend
+	now          uint64 // cycle of the last Evaluate (idle-check reference)
 	Stats        HomeStats
 }
 
@@ -475,6 +476,7 @@ func (h *Home) queueSend(at uint64, p *noc.Packet, isReq bool, resp *RespInfo) {
 
 // Evaluate fires due timers and drains the send queue.
 func (h *Home) Evaluate(cycle uint64) {
+	h.now = cycle
 	if len(h.timers) > 0 {
 		// Detach first: firing a timer (process → unblock → dispatch) may
 		// schedule new timers. The spare scratch array is swapped in so the
@@ -516,3 +518,45 @@ func (h *Home) Evaluate(cycle uint64) {
 
 // Commit implements sim.Component.
 func (h *Home) Commit(cycle uint64) {}
+
+// Idle implements sim.Idler: the home's cycle work is firing due timers and
+// injecting due sends; both are skippable while still in the future. A send
+// whose latency elapsed but was refused by the NIC keeps the home active so
+// it retries every cycle. Inbound transactions arrive through the node's NIC
+// delivery, which runs inside the same scheduling unit.
+func (h *Home) Idle() bool {
+	for i := range h.timers {
+		if h.timers[i].at <= h.now {
+			return false
+		}
+	}
+	for i := range h.sendQ {
+		if h.sendQ[i].readyAt <= h.now {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the earliest pending timer or
+// scheduled send.
+func (h *Home) NextEventCycle(cycle uint64) uint64 {
+	next := uint64(0)
+	for i := range h.timers {
+		if a := h.timers[i].at; next == 0 || a < next {
+			next = a
+		}
+	}
+	for i := range h.sendQ {
+		if r := h.sendQ[i].readyAt; next == 0 || r < next {
+			next = r
+		}
+	}
+	if next == 0 {
+		return ^uint64(0)
+	}
+	if next <= cycle {
+		return cycle + 1
+	}
+	return next
+}

@@ -108,6 +108,7 @@ type L2 struct {
 	coreQ      []dcoreReq
 	stagedCore []dcoreReq
 	reqIDNext  uint64
+	now        uint64 // cycle of the last Evaluate (idle-check reference)
 	Stats      L2Stats
 }
 
@@ -333,6 +334,7 @@ func (l *L2) HandleResponse(p *noc.Packet, cycle uint64) {
 
 // Evaluate runs one controller cycle.
 func (l *L2) Evaluate(cycle uint64) {
+	l.now = cycle
 	l.drainSendQ(cycle)
 	l.retryInjects(cycle)
 	l.checkCompletions(cycle)
@@ -345,6 +347,46 @@ func (l *L2) Commit(cycle uint64) {
 		l.coreQ = append(l.coreQ, l.stagedCore...)
 		l.stagedCore = nil
 	}
+}
+
+// Idle implements sim.Idler: the controller parks only when it is fully
+// drained apart from future-scheduled sends — no buffered or staged core
+// requests, no outstanding miss or writeback (responses unblock them through
+// the node's NIC, which runs inside this unit, but completion processing
+// happens on the following Evaluate, so an active MSHR keeps the unit live),
+// and no send whose latency already elapsed.
+func (l *L2) Idle() bool {
+	if len(l.stagedCore) > 0 || len(l.coreQ) > 0 || len(l.wbs) > 0 {
+		return false
+	}
+	for i := range l.mshrs {
+		if l.mshrs[i].active {
+			return false
+		}
+	}
+	for i := range l.sendQ {
+		if l.sendQ[i].readyAt <= l.now {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the earliest scheduled send.
+func (l *L2) NextEventCycle(cycle uint64) uint64 {
+	next := uint64(0)
+	for i := range l.sendQ {
+		if r := l.sendQ[i].readyAt; next == 0 || r < next {
+			next = r
+		}
+	}
+	if next == 0 {
+		return ^uint64(0)
+	}
+	if next <= cycle {
+		return cycle + 1
+	}
+	return next
 }
 
 func (l *L2) drainSendQ(cycle uint64) {

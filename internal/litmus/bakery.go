@@ -174,7 +174,9 @@ func RunBakery(w, h, threads, rounds int, seed uint64) (BakeryResult, error) {
 		d := &bakeryDriver{l2: s.L2s[i*stride], id: i, n: threads, rounds: rounds}
 		s.L2s[i*stride].OnComplete = d.onComplete
 		drivers[i] = d
-		s.Kernel.Register(d)
+		// Share the node's scheduling unit (see RunOn): the driver calls the
+		// L2 directly and has no Idle(), keeping the unit permanently active.
+		s.Kernel.RegisterGroup(i*stride, d)
 	}
 	ok := s.Kernel.RunUntil(func() bool {
 		for _, d := range drivers {

@@ -120,7 +120,11 @@ func RunOn(test Test, w, h int, runs int, seed uint64, mainNetworks int) (Result
 			d := &driver{l2: s.L2s[node], ops: ops, startAt: uint64(rng.Intn(250))}
 			s.L2s[node].OnComplete = d.onComplete
 			drivers[t] = d
-			s.Kernel.Register(d)
+			// The driver calls straight into the node's L2, so it must share
+			// that node's scheduling unit: the driver has no Idle() method,
+			// which pins the whole unit active and guarantees staged core
+			// accesses are always merged even with idle-skip enabled.
+			s.Kernel.RegisterGroup(node, d)
 		}
 		ok := s.Kernel.RunUntil(func() bool {
 			for _, d := range drivers {

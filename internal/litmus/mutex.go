@@ -161,7 +161,9 @@ func RunMutex(w, h, rounds int, seed uint64) (MutexResult, error) {
 		d := &mutexDriver{l2: s.L2s[nodes[i]], id: i, rounds: rounds}
 		s.L2s[nodes[i]].OnComplete = d.onComplete
 		drivers[i] = d
-		s.Kernel.Register(d)
+		// Share the node's scheduling unit (see RunOn): the driver calls the
+		// L2 directly and has no Idle(), keeping the unit permanently active.
+		s.Kernel.RegisterGroup(nodes[i], d)
 	}
 	// Stagger thread 1 by a seed-derived offset.
 	s.Kernel.Run(sim.NewRNG(seed).Uint64() % 64)

@@ -98,6 +98,7 @@ type Controller struct {
 	dirC   *cache.Array      // finite directory cache (latency only)
 	held   map[uint64][]queuedReq
 	sendQ  []pendingSend
+	now    uint64 // cycle of the last Evaluate (idle-check reference)
 	Stats  Stats
 }
 
@@ -248,6 +249,7 @@ func (c *Controller) AcceptResponse(p *noc.Packet, cycle uint64) bool {
 
 // Evaluate injects scheduled responses whose latency elapsed.
 func (c *Controller) Evaluate(cycle uint64) {
+	c.now = cycle
 	rest := c.sendQ[:0]
 	for _, s := range c.sendQ {
 		if s.readyAt <= cycle {
@@ -266,6 +268,37 @@ func (c *Controller) Evaluate(cycle uint64) {
 
 // Commit implements sim.Component.
 func (c *Controller) Commit(cycle uint64) {}
+
+// Idle implements sim.Idler: the DRAM model is pure scheduled sends, so the
+// controller is skippable whenever every queued send is still in the future
+// (a send whose latency elapsed but was rejected by the NIC must retry every
+// cycle). Held raced requests are released by AcceptResponse, which runs
+// inside this unit.
+func (c *Controller) Idle() bool {
+	for i := range c.sendQ {
+		if c.sendQ[i].readyAt <= c.now {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the earliest scheduled send.
+func (c *Controller) NextEventCycle(cycle uint64) uint64 {
+	next := uint64(0)
+	for i := range c.sendQ {
+		if r := c.sendQ[i].readyAt; next == 0 || r < next {
+			next = r
+		}
+	}
+	if next == 0 {
+		return ^uint64(0)
+	}
+	if next <= cycle {
+		return cycle + 1
+	}
+	return next
+}
 
 // OwnerOf reports the directory's view of a line's owner (-1 = memory) for
 // tests.

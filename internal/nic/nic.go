@@ -29,6 +29,7 @@ import (
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
 	"scorpio/internal/ring"
+	"scorpio/internal/sim"
 	"scorpio/internal/stats"
 )
 
@@ -216,6 +217,16 @@ type NIC struct {
 	// same discipline for the online order/coherence monitor.
 	tracer  *obs.Tracer
 	auditor *audit.Auditor
+
+	// Activity-driven scheduling state. now is the cycle of the NIC's last
+	// Evaluate; Idle() uses it to check the attached links for in-flight
+	// values (see sim.Idler — Idle is only consulted for units that executed
+	// the just-finished cycle, so now is always current there). notifAct is
+	// the notification network's scheduling unit: a NIC with a pending offer
+	// wakes it for the next window start so a quiescent OR-mesh still samples
+	// the offer.
+	now      uint64
+	notifAct *sim.Activity
 }
 
 // New builds a NIC for the given node and wires it to the two networks. The
@@ -340,10 +351,26 @@ func (n *NIC) SendResponse(p *noc.Packet) bool {
 	return true
 }
 
+// BindActivity wires the NIC's scheduling unit as the wake target of its
+// attached links: inject-link credits and eject-link flits both wake it.
+// Call after every AddMesh.
+func (n *NIC) BindActivity(a *sim.Activity) {
+	for _, port := range n.ports {
+		port.mesh.InjectLink(n.node).SetCreditWake(a)
+		port.mesh.EjectLink(n.node).SetFlitWake(a)
+	}
+}
+
+// SetNotifActivity wires the notification network's scheduling unit so a NIC
+// holding a pending offer (or stop bit) can wake it for the window start
+// where the OR-mesh samples the offer.
+func (n *NIC) SetNotifActivity(a *sim.Activity) { n.notifAct = a }
+
 // Evaluate runs one NIC cycle.
 func (n *NIC) Evaluate(cycle uint64) {
+	n.now = cycle
 	for _, port := range n.ports {
-		for _, c := range port.mesh.InjectLink(n.node).Credits() {
+		for _, c := range port.mesh.InjectLink(n.node).Credits(cycle) {
 			port.tr.ProcessCredit(c)
 			n.pool.Put(c.Carcass)
 		}
@@ -400,6 +427,52 @@ func (n *NIC) Commit(cycle uint64) {
 		}
 	}
 	n.offerCount, n.offerStop = count, stop
+	// The OR-mesh samples this offer at the next window start; make sure the
+	// notification network is awake to latch it even if every other source
+	// is quiet.
+	if n.cfg.Ordered && (count > 0 || stop) {
+		w := uint64(n.ncfg.Window())
+		n.notifAct.Wake((cycle/w + 1) * w)
+	}
+}
+
+// Idle implements sim.Idler: the NIC may be skipped while it holds no
+// packets, owes no notification work, and no value is in flight on its
+// links. Each term is load-bearing — unannounced/offer state means a window
+// start must run here; announcedLag means a merged vector is due back;
+// orderActive means ESID delivery is in progress; busy is the ejection
+// occupancy countdown; the link checks catch values committed this cycle
+// that arrive next cycle (the wake edge was dropped because this unit was
+// still active when the sender called Wake).
+func (n *NIC) Idle() bool {
+	if n.busy > 0 || n.orderActive() || n.trackerQ.Len() > 0 {
+		return false
+	}
+	if n.unannounced > 0 || n.announcedLag > 0 || n.offerCount > 0 || n.offerStop {
+		return false
+	}
+	if n.HasPendingWork() {
+		return false
+	}
+	if n.cfg.Ordered {
+		// A merged vector is readable exactly one cycle after a window
+		// delivers; every NIC must run that cycle to expand its ESID
+		// sequence. The OR-mesh's delivery wake is edge-triggered and was
+		// dropped if this unit was still active when it fired, so the
+		// committed delivery flag must be re-checked here.
+		if _, ok := n.nnet.Delivered(); ok {
+			return false
+		}
+	}
+	for _, port := range n.ports {
+		if port.mesh.EjectLink(n.node).FlitPendingAt(n.now) {
+			return false
+		}
+		if port.mesh.InjectLink(n.node).CreditsPendingAt(n.now) {
+			return false
+		}
+	}
+	return true
 }
 
 // orderActive reports whether an ESID sequence is being consumed.
@@ -478,7 +551,7 @@ func (n *NIC) cloneVector(v notif.Vector) notif.Vector {
 func (n *NIC) receive(cycle uint64) {
 	for _, port := range n.ports {
 		ej := port.mesh.EjectLink(n.node)
-		if f := ej.Flit(); f != nil {
+		if f := ej.Flit(cycle); f != nil {
 			switch f.Pkt.VNet {
 			case noc.GOReq:
 				vc := f.InVC()
@@ -513,7 +586,7 @@ func (n *NIC) receive(cycle uint64) {
 			for vc := range port.reqBuf {
 				if !port.reqBuf[vc].Empty() && n.reqHold.Len() < n.cfg.ReqBufDepth {
 					n.reqHold.Push(port.reqBuf[vc].PopFront())
-					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
+					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
 				}
 			}
 		}
@@ -526,7 +599,7 @@ func (n *NIC) receive(cycle uint64) {
 				continue
 			}
 			f := port.respVCBuf[vc].PopFront()
-			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()})
+			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()}, cycle)
 			as := &port.respBuf[vc]
 			if as.pkt == nil {
 				as.pkt = f.Pkt
@@ -577,7 +650,7 @@ func (n *NIC) deliver(cycle uint64) {
 			if n.agent.AcceptOrderedRequest(e.pkt, e.arrive, cycle) {
 				port.arrivalQ.PopFront()
 				port.reqBuf[vc].PopFront()
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
 				n.Stats.DeliveredRequests++
 				if n.tracer != nil {
 					n.tracer.Record(obs.Event{
@@ -599,7 +672,7 @@ func (n *NIC) deliver(cycle uint64) {
 		run := &n.order[n.orderPos]
 		if p, arrive, ok := n.expectedPacket(run.sid); ok {
 			if n.agent.AcceptOrderedRequest(p, arrive, cycle) {
-				n.consumeExpected(run.sid)
+				n.consumeExpected(run.sid, cycle)
 				if n.tracer != nil {
 					n.tracer.Record(obs.Event{
 						Cycle: cycle, Type: obs.EvOrderCommit, Node: int32(n.node),
@@ -683,7 +756,7 @@ func (n *NIC) expectedPacket(sid int) (*noc.Packet, uint64, bool) {
 
 // consumeExpected removes the delivered packet from its buffer, returning a
 // credit to the router when it still occupied a VC slot.
-func (n *NIC) consumeExpected(sid int) {
+func (n *NIC) consumeExpected(sid int, cycle uint64) {
 	seq := n.deliveredSeq[sid]
 	if sid == n.ownSID {
 		n.loopback.PopFront()
@@ -701,7 +774,7 @@ func (n *NIC) consumeExpected(sid int) {
 			buf := &port.reqBuf[vc]
 			if !buf.Empty() && buf.Front().pkt.SID == sid && buf.Front().pkt.SrcSeq == seq {
 				buf.PopFront()
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()})
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
 				return
 			}
 		}
@@ -758,7 +831,7 @@ func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
 			Port: -1, VNet: int8(v), VC: int16(vc),
 		})
 	}
-	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, 0, vc))
+	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, 0, vc), cycle)
 	if p.Flits == 1 {
 		n.finishInjection(port, v)
 	} else {
@@ -775,7 +848,7 @@ func (n *NIC) continueInjection(port *meshPort, cycle uint64) {
 		return
 	}
 	port.tr.ChargeBody(p.VNet, port.curVC)
-	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, port.nextSeq, port.curVC))
+	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, port.nextSeq, port.curVC), cycle)
 	port.nextSeq++
 	if port.nextSeq == p.Flits {
 		port.inFlight = nil

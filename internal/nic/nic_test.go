@@ -96,11 +96,19 @@ func newHarnessPerNode(t *testing.T, w, h int, cfgFor func(node int) Config, not
 		ag.nic = n
 		hn.nics = append(hn.nics, n)
 		hn.agents = append(hn.agents, ag)
-		k.Register(ag)
-		k.Register(n)
+		// Mirror the real assembly (core.NewOrderedNet): the agent and NIC
+		// share a scheduling unit, and the unit is woken by link traffic and
+		// notification deliveries.
+		act := k.RegisterGroup(node, ag)
+		k.RegisterGroup(node, n)
+		n.BindActivity(act)
+		nnet.SetSourceActivity(node, act)
 	}
 	mesh.Register(k)
-	k.Register(nnet)
+	nnetAct := k.Register(nnet)
+	for _, n := range hn.nics {
+		n.SetNotifActivity(nnetAct)
+	}
 	return hn
 }
 

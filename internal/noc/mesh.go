@@ -15,7 +15,6 @@ import (
 type Mesh struct {
 	cfg       Config
 	routers   []*Router
-	links     []*Link
 	inject    []*Link
 	eject     []*Link
 	esids     []ESIDProvider
@@ -42,11 +41,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	for id := 0; id < cfg.Nodes(); id++ {
 		m.routers = append(m.routers, newRouter(cfg, id, esid))
 	}
-	newLink := func() *Link {
-		l := NewLink()
-		m.links = append(m.links, l)
-		return l
-	}
+	newLink := func() *Link { return NewLink() }
 	// Local ports.
 	for id, r := range m.routers {
 		m.inject[id] = newLink()
@@ -126,13 +121,20 @@ func (m *Mesh) Expecting(sid int, seq uint64, exclude int) bool {
 // Config returns the mesh's configuration.
 func (m *Mesh) Config() Config { return m.cfg }
 
-// Register adds every router and link to the kernel.
+// Register adds every router to the kernel and wires the links' wake edges:
+// each link's readers are woken by writes so routers can park when quiescent.
+// Links themselves are passive mailboxes, not components (see Link).
 func (m *Mesh) Register(k *sim.Kernel) {
 	for _, r := range m.routers {
-		k.Register(r)
-	}
-	for _, l := range m.links {
-		k.Register(l)
+		a := k.Register(r)
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := r.in[p]; iu != nil {
+				iu.link.SetFlitWake(a)
+			}
+			if ou := r.out[p]; ou != nil {
+				ou.link.SetCreditWake(a)
+			}
+		}
 	}
 }
 
@@ -183,11 +185,13 @@ func (m *Mesh) SetAuditor(a *audit.Auditor) {
 }
 
 // BufferedFlits counts the flits currently held in router input VCs across
-// the mesh — the watchdog's "packets in flight" signal.
+// the mesh — the watchdog's "packets in flight" signal. It sums the routers'
+// incrementally-maintained occupancy counters, so polling it every watchdog
+// or metrics interval costs O(routers) instead of a full VC-ring rescan.
 func (m *Mesh) BufferedFlits() int {
 	n := 0
 	for _, r := range m.routers {
-		r.ForEachBufferedFlit(func(Port, VNet, int, *Flit) { n++ })
+		n += r.buffered
 	}
 	return n
 }

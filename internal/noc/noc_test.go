@@ -37,14 +37,14 @@ func (e *testEndpoint) Queue(p *Packet) { e.sendQ = append(e.sendQ, p) }
 
 func (e *testEndpoint) Evaluate(cycle uint64) {
 	inj := e.mesh.InjectLink(e.node)
-	for _, c := range inj.Credits() {
+	for _, c := range inj.Credits(cycle) {
 		e.tr.ProcessCredit(c)
 	}
 	// Consume arriving flits immediately (no ordering in pure-noc tests).
 	ej := e.mesh.EjectLink(e.node)
-	if f := ej.Flit(); f != nil {
+	if f := ej.Flit(cycle); f != nil {
 		e.arrivals[f.Pkt.ID]++
-		ej.SendCredit(Credit{VNet: f.Pkt.VNet, VC: f.inVC, FreeVC: f.IsTail()})
+		ej.SendCredit(Credit{VNet: f.Pkt.VNet, VC: f.inVC, FreeVC: f.IsTail()}, cycle)
 		if f.IsTail() {
 			f.Pkt.ArriveCycle = cycle
 			e.Received = append(e.Received, f.Pkt)
@@ -72,7 +72,7 @@ func (e *testEndpoint) Evaluate(cycle uint64) {
 	} else {
 		e.tr.ChargeBody(p.VNet, e.curVC)
 	}
-	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC})
+	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC}, cycle)
 	e.nextSeq++
 	if e.nextSeq == p.Flits {
 		e.inFlight = nil

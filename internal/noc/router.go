@@ -92,6 +92,10 @@ type Router struct {
 	pool  FlitPool
 	Stats RouterStats
 	now   uint64
+	// buffered counts flits currently held in the input VCs — the router's
+	// idle predicate and the mesh-wide occupancy gauge (Mesh.BufferedFlits),
+	// maintained incrementally so watchdog polls never rescan the VC rings.
+	buffered int
 	// tracer is nil unless lifecycle tracing is enabled; every hook site
 	// guards on it so the disabled path is one branch. auditor follows the
 	// same discipline for the online multicast-fork checker.
@@ -128,7 +132,7 @@ func (r *Router) Evaluate(cycle uint64) {
 		if ou == nil {
 			continue
 		}
-		for _, c := range ou.link.Credits() {
+		for _, c := range ou.link.Credits(cycle) {
 			ou.tr.ProcessCredit(c)
 			r.pool.Put(c.Carcass)
 		}
@@ -138,7 +142,7 @@ func (r *Router) Evaluate(cycle uint64) {
 		if iu == nil {
 			continue
 		}
-		if f := iu.link.Flit(); f != nil {
+		if f := iu.link.Flit(cycle); f != nil {
 			r.acceptFlit(p, iu, f)
 		}
 	}
@@ -148,6 +152,25 @@ func (r *Router) Evaluate(cycle uint64) {
 // Commit implements sim.Component; all router state is updated in Evaluate
 // and isolation between routers is provided by the links.
 func (r *Router) Commit(cycle uint64) {}
+
+// Idle reports that the router has nothing buffered and nothing arriving
+// next cycle on any attached link — the idle-skip predicate. It is only
+// consulted after the router executed the current cycle, so r.now names the
+// cycle whose late link writes must be checked.
+func (r *Router) Idle() bool {
+	if r.buffered != 0 {
+		return false
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		if iu := r.in[p]; iu != nil && iu.link.FlitPendingAt(r.now) {
+			return false
+		}
+		if ou := r.out[p]; ou != nil && ou.link.CreditsPendingAt(r.now) {
+			return false
+		}
+	}
+	return true
+}
 
 // acceptFlit performs buffer write (BW) and, for head flits, route
 // computation.
@@ -170,6 +193,7 @@ func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
 		}
 	}
 	vc.q.Push(f)
+	r.buffered++
 	r.Stats.FlitsAccepted++
 	r.Stats.BufferWrites++
 	if r.tracer != nil {
@@ -494,7 +518,7 @@ func (r *Router) traverse(g grant) {
 	out := r.pool.Clone(g.flit)
 	out.inVC = g.dstVC
 	out.outPorts = 0
-	r.out[g.out].link.Send(out)
+	r.out[g.out].link.Send(out, r.now)
 	g.flit.lastPort = g.out
 	g.flit.lastDstVC = g.dstVC
 	r.Stats.FlitsRouted++
@@ -526,6 +550,7 @@ func (r *Router) traverse(g grant) {
 func (r *Router) dequeue(c *candidate) {
 	vc := c.vc
 	f := vc.q.PopFront()
+	r.buffered--
 	iu := r.in[c.in]
 	tail := f.IsTail()
 	if f.IsHead() && !tail {
@@ -543,7 +568,7 @@ func (r *Router) dequeue(c *candidate) {
 	// pool-drawn clone); ride it upstream on the credit so the sender's pool
 	// gets its object back (see Credit.Carcass). Sent last: the carcass
 	// belongs to the upstream component once attached.
-	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: tail, Carcass: f})
+	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: tail, Carcass: f}, r.now)
 }
 
 // ForEachBufferedFlit calls fn for every flit buffered in the router's input

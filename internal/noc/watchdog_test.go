@@ -17,7 +17,7 @@ type starvedEndpoint struct {
 
 func (e *starvedEndpoint) Evaluate(cycle uint64) {
 	inj := e.mesh.InjectLink(e.node)
-	for _, c := range inj.Credits() {
+	for _, c := range inj.Credits(cycle) {
 		e.tr.ProcessCredit(c)
 	}
 	// Deliberately NOT draining the eject link.
@@ -42,7 +42,7 @@ func (e *starvedEndpoint) Evaluate(cycle uint64) {
 	} else {
 		e.tr.ChargeBody(p.VNet, e.curVC)
 	}
-	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC})
+	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC}, cycle)
 	e.nextSeq++
 	if e.nextSeq == p.Flits {
 		e.inFlight = nil

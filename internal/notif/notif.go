@@ -16,6 +16,7 @@ import (
 
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
+	"scorpio/internal/sim"
 )
 
 // Config describes a notification network.
@@ -205,6 +206,15 @@ type Network struct {
 	hasDelivery     bool
 	pendingDelivery Vector
 	pendingHas      bool
+	// winLive marks a window whose start seeded any nonzero offer or stop
+	// bit; the OR-mesh must then run every cycle until the window delivers.
+	// An all-zero window is a provable no-op (zero latches OR to zero), so
+	// the network may park through it.
+	winLive bool
+	// srcActs are the sources' scheduling units, woken for the cycle after a
+	// window delivers so parked NICs consume the merged vector exactly when
+	// running ones do.
+	srcActs []*sim.Activity
 	// Stats
 	WindowsDelivered uint64
 	StoppedWindows   uint64
@@ -238,6 +248,15 @@ func (n *Network) Config() Config { return n.cfg }
 // AttachSource registers the node's NIC as a notification source.
 func (n *Network) AttachSource(node int, s Source) { n.sources[node] = s }
 
+// SetSourceActivity wires a source node's scheduling unit for the
+// delivery-cycle wake (see srcActs).
+func (n *Network) SetSourceActivity(node int, a *sim.Activity) {
+	if n.srcActs == nil {
+		n.srcActs = make([]*sim.Activity, n.cfg.Nodes())
+	}
+	n.srcActs[node] = a
+}
+
 // SetTracer attaches a lifecycle event tracer (nil disables tracing).
 func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
 
@@ -262,6 +281,7 @@ func (n *Network) Evaluate(cycle uint64) {
 	pos := cycle % w
 	if pos == 0 {
 		// Window start: seed latches from the sources' committed offers.
+		n.winLive = false
 		for i := range n.next {
 			clearVector(&n.next[i])
 			if s := n.sources[i]; s != nil {
@@ -271,6 +291,9 @@ func (n *Network) Evaluate(cycle uint64) {
 				}
 				n.next[i].set(i, count)
 				n.next[i].Stop = stop
+				if count > 0 || stop {
+					n.winLive = true
+				}
 			}
 		}
 		return
@@ -337,11 +360,37 @@ func (n *Network) Commit(cycle uint64) {
 				// requests the NICs will commit.
 				n.auditor.NotifWindow(n.delivered.Total())
 			}
+			// Every node consumes the merged vector on the next cycle (the
+			// following window's first); wake any parked sources for it.
+			for _, a := range n.srcActs {
+				a.Wake(cycle + 1)
+			}
 		}
+		n.winLive = false
 		n.pendingHas = false
 	} else {
 		n.hasDelivery = false
 	}
+}
+
+// Idle implements sim.Idler: the OR-mesh may be skipped outside live windows
+// — no nonzero window in flight, no delivery awaiting consumption, and no
+// source holding a committed nonzero offer for the next window start (NICs
+// also wake the network for such starts; the scan makes Idle self-contained
+// when a wake was dropped because the network was still active).
+func (n *Network) Idle() bool {
+	if n.winLive || n.hasDelivery || n.pendingHas {
+		return false
+	}
+	for _, s := range n.sources {
+		if s == nil {
+			continue
+		}
+		if count, stop := s.NotificationOffer(); count > 0 || stop {
+			return false
+		}
+	}
+	return true
 }
 
 // Latch exposes a node's current latch value (for tests).

@@ -21,9 +21,21 @@
 // on periodic profiling cycles, and the pool repacks units longest-processing-
 // time-first whenever the shards drift out of balance. Assignment never
 // affects results — only which goroutine happens to execute a unit.
+//
+// Execution is activity-driven (see activity.go): a unit whose components all
+// implement Idler is parked once every member reports Idle(), and only woken
+// by an Activity.Wake from a producer or by its own NextEventCycle. Parked
+// units cost nothing per cycle; when every unit is parked, Run and RunUntil
+// fast-forward the clock straight to the earliest pending wake. Both
+// mechanisms are driver-side and state-driven, so skip-on execution is
+// bit-identical to skip-off at any worker count. SetIdleSkip(false) restores
+// the always-step path.
 package sim
 
-import "runtime"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // Component is a hardware block ticked once per cycle.
 //
@@ -48,17 +60,53 @@ type PhaseCoster interface {
 	PhaseCost() int
 }
 
+// Idle-skip engine constants: the demotion pass that parks newly-idle units
+// runs every demoteEvery cycles while units are parking or waking (lazy — an
+// idle unit burns at most demoteEvery no-op cycles before parking), and backs
+// off exponentially to demoteMax while passes find nothing to park, so at
+// saturation the Idle() polling cost fades to a fraction of a percent; any
+// wake resets the cadence. The timing wheel that schedules known-future wakes
+// has wheelSlots single-cycle slots (far-future wakes re-enter the wheel each
+// wrap).
+const (
+	demoteEvery = 4
+	demoteMax   = 32
+	wheelSlots  = 256
+)
+
+// The timing wheel is intrusive: each slot heads a doubly-linked list
+// threaded through the units' wheelNext/wheelPrev indices, so filing,
+// rescheduling and draining are O(1) pointer splices with zero allocation —
+// no slot slice ever grows, and a unit has exactly one live entry.
+
 // unit is one scheduling unit: components that must execute on the same
-// worker, in order, plus the sharder's cost bookkeeping.
+// worker, in order, plus the activity engine's and the sharder's bookkeeping.
 type unit struct {
 	comps []Component
+	// act is the unit's wake mailbox, stable across unit rebuilds.
+	act *Activity
+	// canIdle marks a unit whose components all implement Idler; only such
+	// units ever park. idlers and nexters are the pre-asserted views used by
+	// the demotion pass.
+	canIdle bool
+	idlers  []Idler
+	nexters []NextEventer
+	// active mirrors act.state==0 for the driver and, via the pool's epoch
+	// publication, the workers. wheelAt is the cycle of the unit's live
+	// timing-wheel entry (NoEvent = none); wheelNext/wheelPrev link the unit
+	// into its slot's list (-1 = end).
+	active    bool
+	wheelAt   uint64
+	wheelNext int32
+	wheelPrev int32
 	// cost is the balancing weight: the static seed until the first
 	// profiling cycle, then an EWMA of measured phase nanoseconds.
 	cost   float64
 	seeded bool // cost holds measured time, not the static seed
 	// sampleNs/sampleCnt accumulate profiling-cycle measurements; written
-	// only by the owning worker mid-cycle, folded and zeroed by the driver
-	// between cycles (the commit barrier orders the two).
+	// only by the owning worker mid-cycle (or the driver, for parked units),
+	// folded and zeroed by the driver between cycles (the commit barrier
+	// orders the two).
 	sampleNs  float64
 	sampleCnt uint32
 	owner     int32 // current shard, for migration accounting
@@ -68,6 +116,8 @@ type unit struct {
 type Kernel struct {
 	components []Component
 	groupKeys  []int // per-component group key; negative = singleton unit
+	acts       []*Activity
+	groupActs  map[int]*Activity
 	nextAuto   int
 	cycle      uint64
 
@@ -76,33 +126,59 @@ type Kernel struct {
 	noShard bool // last unit build found too few units to shard
 	pool    *phasePool
 
+	// Activity engine state (driver-only, except wakeSignal).
+	idleSkip   bool
+	units      []unit
+	nActive    int
+	actDirty   bool // active set changed; flat dispatch lists stale
+	wakeSignal atomic.Uint64
+	lastSignal uint64
+	wheelHead  [wheelSlots]int32
+	serialAct  []Component // serial-mode flat active dispatch list
+	demoteNext uint64      // cycle after which the next demote pass runs
+	demoteGap  uint64      // current demote interval (adaptive backoff)
+
 	observer func(cycle uint64)
 }
 
-// NewKernel returns an empty kernel at cycle 0.
+// NewKernel returns an empty kernel at cycle 0 with idle-skip enabled.
 func NewKernel() *Kernel {
-	return &Kernel{nextAuto: -1}
+	return &Kernel{nextAuto: -1, idleSkip: true}
 }
 
 // Register adds a component to the kernel's tick list as its own scheduling
-// unit.
-func (k *Kernel) Register(c Component) {
+// unit and returns the unit's wake mailbox (stable for the kernel's life).
+func (k *Kernel) Register(c Component) *Activity {
+	a := &Activity{sig: &k.wakeSignal}
 	k.components = append(k.components, c)
 	k.groupKeys = append(k.groupKeys, k.nextAuto)
+	k.acts = append(k.acts, a)
 	k.nextAuto--
 	k.dirty = true
+	return a
 }
 
 // RegisterGroup adds a component to the scheduling unit identified by key
 // (key >= 0). All components sharing a key execute on the same worker, in
 // registration order, so they may call each other directly during a phase.
-func (k *Kernel) RegisterGroup(key int, c Component) {
+// Returns the unit's shared wake mailbox.
+func (k *Kernel) RegisterGroup(key int, c Component) *Activity {
 	if key < 0 {
 		panic("sim: RegisterGroup key must be non-negative")
 	}
+	if k.groupActs == nil {
+		k.groupActs = make(map[int]*Activity)
+	}
+	a := k.groupActs[key]
+	if a == nil {
+		a = &Activity{sig: &k.wakeSignal}
+		k.groupActs[key] = a
+	}
 	k.components = append(k.components, c)
 	k.groupKeys = append(k.groupKeys, key)
+	k.acts = append(k.acts, a)
 	k.dirty = true
+	return a
 }
 
 // SetWorkers selects the execution mode: n <= 1 runs every phase on the
@@ -128,6 +204,21 @@ func (k *Kernel) Workers() int {
 	return k.workers
 }
 
+// SetIdleSkip enables or disables activity-driven execution (enabled by
+// default). Disabled, every unit is ticked every cycle and the clock never
+// fast-forwards — the escape hatch for bisecting against the always-step
+// path. Results are bit-identical either way.
+func (k *Kernel) SetIdleSkip(on bool) {
+	if on == k.idleSkip {
+		return
+	}
+	k.idleSkip = on
+	k.dirty = true
+}
+
+// IdleSkip reports whether activity-driven execution is enabled.
+func (k *Kernel) IdleSkip() bool { return k.idleSkip }
+
 // Cycle reports the number of cycles fully executed so far.
 func (k *Kernel) Cycle() uint64 {
 	return k.cycle
@@ -137,17 +228,41 @@ func (k *Kernel) Cycle() uint64 {
 // with the cycle just executed. It runs on the driving goroutine after all
 // workers have barriered, so it may freely read committed component state —
 // the observability layer's sampling and watchdog point. Pass nil to remove
-// it; when nil the per-step cost is a single branch.
+// it; when nil the per-step cost is a single branch. A non-nil observer
+// expects to see every cycle, so it also disables fast-forward (idle units
+// are still skipped).
 func (k *Kernel) SetObserver(fn func(cycle uint64)) {
 	k.observer = fn
 }
 
-// Step executes exactly one cycle: all Evaluates, then all Commits.
+// Step executes exactly one cycle: all Evaluates, then all Commits — for
+// every unit that is active this cycle.
 func (k *Kernel) Step() {
 	cyc := k.cycle
-	if p := k.parallelPool(); p != nil {
+	p := k.ensureEngine()
+	skip := k.idleSkip && len(k.units) > 0
+	if skip {
+		k.boundary(cyc)
+	}
+	switch {
+	case p != nil:
+		if k.actDirty {
+			p.rebuildActive()
+			k.actDirty = false
+		}
 		p.step(cyc)
-	} else {
+	case skip:
+		if k.actDirty {
+			k.rebuildSerialActive()
+			k.actDirty = false
+		}
+		for _, c := range k.serialAct {
+			c.Evaluate(cyc)
+		}
+		for _, c := range k.serialAct {
+			c.Commit(cyc)
+		}
+	default:
 		for _, c := range k.components {
 			c.Evaluate(cyc)
 		}
@@ -159,29 +274,216 @@ func (k *Kernel) Step() {
 	if k.observer != nil {
 		k.observer(cyc)
 	}
+	if skip && cyc >= k.demoteNext {
+		if k.demotePass(cyc) {
+			k.demoteGap = demoteEvery
+		} else if k.demoteGap < demoteMax {
+			k.demoteGap *= 2
+		}
+		k.demoteNext = cyc + k.demoteGap
+	}
 }
 
 // Run executes n cycles. Worker goroutines stay warm on return so repeated
 // runs (sweeps, litmus sequences) never pay pool start/stop; they are
 // released by StopWorkers, by the next reshard, or by a GC cleanup when the
-// kernel itself becomes unreachable.
+// kernel itself becomes unreachable. Fully-quiescent spans are fast-forwarded
+// (see fastForward).
 func (k *Kernel) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
+	end := k.cycle + n
+	for k.cycle < end {
+		if k.fastForward(end) {
+			continue
+		}
 		k.Step()
 	}
 }
 
 // RunUntil steps the kernel until done reports true or the cycle limit is
 // reached, and reports whether done became true. Like Run, worker goroutines
-// stay warm on return.
+// stay warm on return. Quiescent spans are fast-forwarded; done cannot change
+// while no component runs, so it is re-checked at every executed cycle
+// exactly as the stepwise path would.
 func (k *Kernel) RunUntil(done func() bool, limit uint64) bool {
 	for k.cycle < limit {
 		if done() {
 			return true
 		}
+		if k.fastForward(limit) {
+			continue
+		}
 		k.Step()
 	}
 	return done()
+}
+
+// fastForward jumps the clock to the earliest pending wake when every unit
+// is parked, bounded by limit; it reports whether the clock moved. Only
+// legal when no observer is installed (an observer samples every cycle) —
+// the observability layer installs one whenever any feature is on, so the
+// gate is exactly "nothing is watching the per-cycle stream".
+func (k *Kernel) fastForward(limit uint64) bool {
+	if !k.idleSkip || k.observer != nil || k.nActive != 0 || len(k.units) == 0 {
+		return false
+	}
+	mw := uint64(NoEvent)
+	for i := range k.units {
+		if st := k.units[i].act.state.Load(); st < mw {
+			mw = st
+		}
+	}
+	if mw <= k.cycle {
+		return false // a wake is due now; Step will activate it
+	}
+	if mw > limit {
+		mw = limit
+	}
+	k.cycle = mw
+	return true
+}
+
+// boundary reconciles wakes into the active set before cycle cyc runs. The
+// cheap steady state: no Wake landed since the last boundary, so only the
+// current timing-wheel slot is drained. When wakes did land, one pass over
+// the parked units activates those due and (re)files future wakes into the
+// wheel.
+func (k *Kernel) boundary(cyc uint64) {
+	if sig := k.wakeSignal.Load(); sig != k.lastSignal {
+		k.lastSignal = sig
+		for i := range k.units {
+			u := &k.units[i]
+			if u.active {
+				continue
+			}
+			st := u.act.state.Load()
+			if st <= cyc {
+				k.activate(i)
+			} else if st != NoEvent && st != u.wheelAt {
+				k.insertWheel(i, st)
+			}
+		}
+	}
+	for i := k.wheelHead[cyc%wheelSlots]; i >= 0; {
+		next := k.units[i].wheelNext
+		if k.units[i].wheelAt <= cyc {
+			k.activate(int(i)) // unlinks the unit from this slot
+		}
+		// Entries with a later wheelAt are a wheel wrap: due some multiple of
+		// wheelSlots later, they stay linked in the same slot.
+		i = next
+	}
+}
+
+// activate returns a parked unit to every-cycle execution. A wake means the
+// machine is churning again, so the demote cadence resets: the woken unit
+// gets demoteEvery cycles of execution before it is polled for re-parking.
+func (k *Kernel) activate(i int) {
+	u := &k.units[i]
+	if u.wheelAt != NoEvent {
+		k.unlinkWheel(i)
+	}
+	u.active = true
+	u.act.state.Store(0)
+	u.wheelAt = NoEvent
+	k.nActive++
+	k.actDirty = true
+	k.demoteGap = demoteEvery
+	// Pull the next pass earlier, never later: under a steady trickle of
+	// wakes, pushing it out would starve demotion entirely.
+	if n := k.cycle + demoteEvery - 1; n < k.demoteNext {
+		k.demoteNext = n
+	}
+}
+
+// insertWheel files unit i's wheel entry for cycle at, unlinking any
+// previous entry first.
+func (k *Kernel) insertWheel(i int, at uint64) {
+	u := &k.units[i]
+	if u.wheelAt != NoEvent {
+		k.unlinkWheel(i)
+	}
+	u.wheelAt = at
+	slot := at % wheelSlots
+	u.wheelPrev = -1
+	u.wheelNext = k.wheelHead[slot]
+	if u.wheelNext >= 0 {
+		k.units[u.wheelNext].wheelPrev = int32(i)
+	}
+	k.wheelHead[slot] = int32(i)
+}
+
+// unlinkWheel splices unit i out of its slot's list (caller guarantees the
+// unit is filed, i.e. wheelAt != NoEvent).
+func (k *Kernel) unlinkWheel(i int) {
+	u := &k.units[i]
+	if u.wheelPrev >= 0 {
+		k.units[u.wheelPrev].wheelNext = u.wheelNext
+	} else {
+		k.wheelHead[u.wheelAt%wheelSlots] = u.wheelNext
+	}
+	if u.wheelNext >= 0 {
+		k.units[u.wheelNext].wheelPrev = u.wheelPrev
+	}
+	u.wheelNext, u.wheelPrev = -1, -1
+}
+
+// demotePass parks every active idle-capable unit whose components all
+// report Idle(), recording the earliest self-scheduled event as the wake,
+// and reports whether it parked anything (the backoff signal). Runs between
+// cycles on the driver, so Idle() sees the cycle just executed and no Wake
+// can race the state store.
+func (k *Kernel) demotePass(cyc uint64) bool {
+	parked := false
+	for i := range k.units {
+		u := &k.units[i]
+		if !u.active || !u.canIdle {
+			continue
+		}
+		idle := true
+		for _, d := range u.idlers {
+			if !d.Idle() {
+				idle = false
+				break
+			}
+		}
+		if !idle {
+			continue
+		}
+		w := uint64(NoEvent)
+		for _, nx := range u.nexters {
+			c := nx.NextEventCycle(cyc)
+			if c <= cyc {
+				c = cyc + 1
+			}
+			if c < w {
+				w = c
+			}
+		}
+		if w <= cyc+1 {
+			continue // due next cycle anyway; parking would just churn
+		}
+		u.active = false
+		u.act.state.Store(w)
+		k.nActive--
+		k.actDirty = true
+		parked = true
+		if w != NoEvent {
+			k.insertWheel(i, w)
+		}
+	}
+	return parked
+}
+
+// rebuildSerialActive refreshes the serial-mode flat dispatch list from the
+// active units, in unit order. Allocation-free once the backing array has
+// grown to the full component count.
+func (k *Kernel) rebuildSerialActive() {
+	k.serialAct = k.serialAct[:0]
+	for i := range k.units {
+		if k.units[i].active {
+			k.serialAct = append(k.serialAct, k.units[i].comps...)
+		}
+	}
 }
 
 // StopWorkers releases the persistent worker goroutines; the next parallel
@@ -201,6 +503,16 @@ func (k *Kernel) Components() int {
 	return len(k.components)
 }
 
+// ActiveUnits reports the activity engine's current active/total scheduling
+// unit counts (equal until the first Step builds the units, or when
+// idle-skip is off).
+func (k *Kernel) ActiveUnits() (active, total int) {
+	if len(k.units) == 0 {
+		return len(k.components), len(k.components)
+	}
+	return k.nActive, len(k.units)
+}
+
 // BalanceStats reports the cost-balanced sharder's activity since the pool
 // started: how many rebalance passes ran and how many unit migrations they
 // performed. Zeroes when the kernel is serial or the pool has not started.
@@ -211,31 +523,40 @@ func (k *Kernel) BalanceStats() (rebalances, migrations uint64) {
 	return k.pool.rebalances, k.pool.migrations
 }
 
-// parallelPool returns the running worker pool, starting or rebuilding it as
-// needed, or nil when the kernel should step serially.
-func (k *Kernel) parallelPool() *phasePool {
-	if k.workers <= 1 || len(k.components) < 2*k.workers {
-		return nil
-	}
+// ensureEngine rebuilds the scheduling units after registration, worker or
+// idle-skip changes and returns the running worker pool (starting it as
+// needed), or nil when the kernel should step on the calling goroutine.
+func (k *Kernel) ensureEngine() *phasePool {
 	if k.dirty {
 		k.StopWorkers()
 		k.dirty = false
 		k.noShard = false
+		k.units = nil
 	}
-	if k.noShard {
+	if k.units == nil && len(k.components) > 0 {
+		k.units = k.buildUnits()
+		k.nActive = len(k.units)
+		k.actDirty = true
+		k.lastSignal = k.wakeSignal.Load()
+		k.demoteGap = demoteEvery
+		k.demoteNext = k.cycle + demoteEvery - 1
+		for i := range k.wheelHead {
+			k.wheelHead[i] = -1
+		}
+	}
+	if k.workers <= 1 || len(k.components) < 2*k.workers || k.noShard {
 		return nil
 	}
 	if k.pool == nil {
-		units := k.buildUnits()
-		if len(units) < 2 {
+		if len(k.units) < 2 {
 			k.noShard = true
 			return nil
 		}
 		nw := k.workers
-		if nw > len(units) {
-			nw = len(units)
+		if nw > len(k.units) {
+			nw = len(k.units)
 		}
-		k.pool = newPhasePool(units, nw)
+		k.pool = newPhasePool(k.units, nw)
 		// Leak guard: Run no longer tears the pool down, so a kernel that is
 		// simply dropped would otherwise strand parked goroutines. The pool
 		// holds no reference back to the kernel, so the cleanup fires once
@@ -246,8 +567,9 @@ func (k *Kernel) parallelPool() *phasePool {
 }
 
 // buildUnits groups components into scheduling units (registration order
-// within a unit, first-appearance order across units) and seeds each unit's
-// balancing cost from the components' static weights.
+// within a unit, first-appearance order across units), seeds each unit's
+// balancing cost from the components' static weights, and resets every
+// unit's activity to active.
 func (k *Kernel) buildUnits() []unit {
 	unitOf := make(map[int]int)
 	var units []unit
@@ -260,18 +582,32 @@ func (k *Kernel) buildUnits() []unit {
 			}
 			unitOf[key] = len(units)
 		}
-		units = append(units, unit{comps: []Component{c}})
+		units = append(units, unit{comps: []Component{c}, act: k.acts[i]})
 	}
 	for i := range units {
+		u := &units[i]
 		w := 0.0
-		for _, c := range units[i].comps {
+		u.canIdle = true
+		for _, c := range u.comps {
 			if h, ok := c.(PhaseCoster); ok {
 				w += float64(h.PhaseCost())
 			} else {
 				w++
 			}
+			if d, ok := c.(Idler); ok {
+				u.idlers = append(u.idlers, d)
+			} else {
+				u.canIdle = false
+			}
+			if nx, ok := c.(NextEventer); ok {
+				u.nexters = append(u.nexters, nx)
+			}
 		}
-		units[i].cost = w
+		u.cost = w
+		u.active = true
+		u.wheelAt = NoEvent
+		u.wheelNext, u.wheelPrev = -1, -1
+		u.act.state.Store(0)
 	}
 	return units
 }

@@ -113,15 +113,13 @@ func newPhasePool(units []unit, nw int) *phasePool {
 	for i := range p.units {
 		p.units[i].owner = -1
 	}
-	p.repack()
 	if runtime.GOMAXPROCS(0) < 2 {
 		p.inline = true
 		p.inlineAll = make([]Component, 0, ncomps)
-		for i := range units {
-			p.inlineAll = append(p.inlineAll, units[i].comps...)
-		}
+		p.repack()
 		return p
 	}
+	p.repack()
 	// A host with spare cores can afford to burn cycles busy-waiting at the
 	// barriers; an oversubscribed one must yield immediately so the sibling
 	// shards actually run.
@@ -152,6 +150,15 @@ func (p *phasePool) step(cyc uint64) {
 	g := p.gen
 	p.cycle = cyc
 	p.sample = cyc%sampleEvery == 0
+	if p.sample {
+		// Parked units are sampled at zero cost so their EWMA decays and the
+		// shard balance reflects active work only.
+		for i := range p.units {
+			if !p.units[i].active {
+				p.units[i].sampleCnt++
+			}
+		}
+	}
 	p.epoch.Store(g)
 	p.wakeOthers(0)
 	p.runCycle(0, g)
@@ -181,6 +188,9 @@ func (p *phasePool) runCycle(self int, g uint64) {
 	if p.sample {
 		for _, ui := range p.assign[self] {
 			u := &p.units[ui]
+			if !u.active {
+				continue
+			}
 			t0 := time.Now()
 			for _, c := range u.comps {
 				c.Evaluate(cyc)
@@ -200,6 +210,9 @@ func (p *phasePool) runCycle(self int, g uint64) {
 	if p.sample {
 		for _, ui := range p.assign[self] {
 			u := &p.units[ui]
+			if !u.active {
+				continue
+			}
 			t0 := time.Now()
 			for _, c := range u.comps {
 				c.Commit(cyc)
@@ -345,14 +358,33 @@ func (p *phasePool) repack() {
 			p.units[ui].owner = int32(best)
 		}
 	}
+	p.rebuildActive()
+	p.rebalances++
+	p.migrations += moved
+}
+
+// rebuildActive refreshes the flat dispatch lists from the currently active
+// units. Called by the driver between cycles whenever the active set or the
+// shard assignment changes; allocation-free once the backing arrays have
+// grown to the full component count.
+func (p *phasePool) rebuildActive() {
+	if p.inline {
+		p.inlineAll = p.inlineAll[:0]
+		for i := range p.units {
+			if u := &p.units[i]; u.active {
+				p.inlineAll = append(p.inlineAll, u.comps...)
+			}
+		}
+		return
+	}
 	for w := range p.flat {
 		p.flat[w] = p.flat[w][:0]
 		for _, ui := range p.assign[w] {
-			p.flat[w] = append(p.flat[w], p.units[ui].comps...)
+			if u := &p.units[ui]; u.active {
+				p.flat[w] = append(p.flat[w], u.comps...)
+			}
 		}
 	}
-	p.rebalances++
-	p.migrations += moved
 }
 
 // costSorter orders pool.order by descending unit cost (stable, so equal

@@ -46,6 +46,9 @@ type BaselineOptions struct {
 	MaxOutstanding int
 	Seed           uint64
 	MCNodes        []int
+	// DisableIdleSkip forces every component to step every cycle (results
+	// are bit-identical either way).
+	DisableIdleSkip bool
 	// Obs enables tracing, metrics sampling and the watchdog (nil = off).
 	Obs *obs.Options
 }
@@ -112,7 +115,7 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		ins := baseline.NewINSO(opt.Net.Nodes(), opt.ExpiryWindow, opt.Net.Width+opt.Net.Height)
 		orderer = ins
 		b.INSO = ins
-		k.Register(ins)
+		ins.BindActivity(k.Register(ins))
 	}
 	mcNodes := opt.MCNodes
 	if mcNodes == nil {
@@ -135,7 +138,7 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		if mcAt[node] {
 			mc := mem.New(node, opt.Mem, ep, mesh.NextPacketID, mm)
 			agent.mc = mc
-			k.Register(mc)
+			k.RegisterGroup(node, mc)
 		}
 		ep.SetAgent(agent)
 		inj := trace.NewInjector(node, opt.Profile, opt.Seed, l2, opt.MaxOutstanding, opt.WarmupPerCore, opt.WorkPerCore)
@@ -143,11 +146,22 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 		l2.OnComplete = func(c coherence.Completion) {
 			inj.OnComplete(c.Addr, c.Write, c.Issue, c.Done, c.Hit, c.ServedByCache, &c.Breakdown)
 		}
-		k.Register(inj)
-		k.Register(l2)
-		k.Register(ep)
+		// One scheduling unit per node (the machine is serial anyway, but the
+		// activity engine parks and wakes whole units): the endpoint delivers
+		// straight into the L2 and memory controller, and the injector drives
+		// the L2.
+		act := k.RegisterGroup(node, inj)
+		k.RegisterGroup(node, l2)
+		k.RegisterGroup(node, ep)
+		// The node's unit is woken by its link traffic and, under INSO, by
+		// expiry broadcasts it owes.
+		ep.BindActivity(act)
+		if b.INSO != nil {
+			b.INSO.SetEndpointActivity(node, act)
+		}
 	}
 	mesh.Register(k)
+	k.SetIdleSkip(!opt.DisableIdleSkip)
 	b.Obs = buildObs(opt.Obs, k, opt.Net.Nodes(),
 		func(c *counters) {
 			for _, ep := range b.Endpoints {

@@ -34,6 +34,9 @@ type DirectoryOptions struct {
 	Seed           uint64
 	// Workers mirrors Options.Workers (0 or 1 = serial kernel).
 	Workers int
+	// DisableIdleSkip forces every component to step every cycle (mirrors
+	// Options.DisableIdleSkip; results are bit-identical either way).
+	DisableIdleSkip bool
 	// Obs enables tracing, metrics sampling and the watchdog (nil = off).
 	Obs *obs.Options
 }
@@ -156,13 +159,16 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 		}
 		// One scheduling unit per node: the NIC's deliveries call straight
 		// into the L2 and home slice, and the injector into the L2.
-		k.RegisterGroup(node, inj)
+		act := k.RegisterGroup(node, inj)
 		k.RegisterGroup(node, l2)
 		k.RegisterGroup(node, home)
 		k.RegisterGroup(node, n)
+		// The node's unit is woken by its link traffic.
+		n.BindActivity(act)
 	}
 	mesh.Register(k)
 	k.SetWorkers(opt.Workers)
+	k.SetIdleSkip(!opt.DisableIdleSkip)
 	d.Obs = buildObs(opt.Obs, k, nodes,
 		func(c *counters) {
 			for _, n := range d.NICs {

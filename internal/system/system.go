@@ -49,6 +49,11 @@ type Options struct {
 	// Workers sets the kernel's parallel worker count; 0 or 1 runs the
 	// classic serial tick loop. Results are identical either way.
 	Workers int
+	// DisableIdleSkip forces every component to step every cycle instead of
+	// parking quiescent nodes on the kernel's activity engine. Results are
+	// bit-identical either way; the flag exists for A/B validation and
+	// overhead measurement.
+	DisableIdleSkip bool
 	// Obs selects observability features (tracing, metrics, watchdog);
 	// nil disables everything at zero per-step cost.
 	Obs *obs.Options
@@ -240,6 +245,7 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 		k.RegisterGroup(node, l2)
 	}
 	k.SetWorkers(opt.Workers)
+	k.SetIdleSkip(!opt.DisableIdleSkip)
 	s.Obs = buildObs(opt.Obs, k, nodes,
 		func(c *counters) {
 			for node := 0; node < nodes; node++ {

@@ -82,7 +82,9 @@ type Tile struct {
 
 	pending [2]pendingTxn
 	// hits scheduled to complete after the L1 latency
-	hitQ  []Completion
+	hitQ []Completion
+	now  uint64 // cycle of the last Evaluate (idle-check reference)
+
 	Stats Stats
 }
 
@@ -155,6 +157,7 @@ func (t *Tile) Access(p Port, addr uint64, write bool, value uint64, cycle uint6
 
 // Evaluate drains due L1-hit completions.
 func (t *Tile) Evaluate(cycle uint64) {
+	t.now = cycle
 	rest := t.hitQ[:0]
 	for _, c := range t.hitQ {
 		if c.Done <= cycle {
@@ -170,6 +173,38 @@ func (t *Tile) Evaluate(cycle uint64) {
 
 // Commit implements sim.Component.
 func (t *Tile) Commit(cycle uint64) {}
+
+// Idle implements sim.Idler: the tile's only cycle work is draining ripe
+// L1-hit completions; scheduled-but-future hits permit parking (the
+// injector's NextEventCycle or the hit's own NextEventCycle wakes the unit).
+// Pending AHB transactions complete through the L2's callback, which runs
+// inside this unit.
+func (t *Tile) Idle() bool {
+	for i := range t.hitQ {
+		if t.hitQ[i].Done <= t.now {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements sim.NextEventer: the earliest scheduled L1-hit
+// completion.
+func (t *Tile) NextEventCycle(cycle uint64) uint64 {
+	next := uint64(0)
+	for i := range t.hitQ {
+		if d := t.hitQ[i].Done; next == 0 || d < next {
+			next = d
+		}
+	}
+	if next == 0 {
+		return ^uint64(0)
+	}
+	if next <= cycle {
+		return cycle + 1
+	}
+	return next
+}
 
 // l2Completed receives the L2's completion and retires the matching AHB
 // transaction, filling the L1 on read misses.

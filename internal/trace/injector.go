@@ -27,9 +27,20 @@ type Injector struct {
 	nextIssueAt uint64
 	pending     *access // generated but not yet accepted by the L2
 	burstLeft   int     // remaining accesses of the current burst
-	coldNext    uint64
-	history     []uint64 // recently touched lines (temporal locality)
-	histPos     int
+	// armed/issueAt presample the think-time countdown: instead of one
+	// Bernoulli trial per cycle, the whole geometric countdown is drawn at
+	// the first eligible cycle (consuming the identical RNG stream — a
+	// geometric draw IS the sequence of per-cycle trials) and the issue
+	// lands at issueAt. Between arming and firing the injector is pure
+	// countdown, so the activity engine can park it and fast-forward to
+	// issueAt. Eligibility cannot regress while armed: outstanding only
+	// grows on an issue, so the presampled countdown always fires exactly
+	// where the per-cycle trials would have succeeded.
+	armed    bool
+	issueAt  uint64
+	coldNext uint64
+	history  []uint64 // recently touched lines (temporal locality)
+	histPos  int
 
 	// Issued/Completed count accesses; the run loop ends when every
 	// injector completes its limit.
@@ -138,10 +149,16 @@ func (in *Injector) Evaluate(cycle uint64) {
 			if cycle < in.nextIssueAt {
 				return
 			}
-			meanBurst := float64(1+in.maxOutstanding) / 2
-			if !in.rng.Bernoulli(in.prof.IssueProb / meanBurst) {
+			if !in.armed {
+				meanBurst := float64(1+in.maxOutstanding) / 2
+				g := in.rng.Geometric(in.prof.IssueProb / meanBurst)
+				in.issueAt = cycle + uint64(g) - 1
+				in.armed = true
+			}
+			if cycle < in.issueAt {
 				return
 			}
+			in.armed = false
 			in.burstLeft = 1 + in.rng.Intn(in.maxOutstanding)
 		}
 		a := in.generate()
@@ -158,6 +175,41 @@ func (in *Injector) Evaluate(cycle uint64) {
 
 // Commit implements sim.Component.
 func (in *Injector) Commit(cycle uint64) {}
+
+// Idle implements sim.Idler: the injector is skippable when it is finished,
+// blocked on the outstanding cap (a completion reaches this unit through the
+// NIC's link wake), or mid-countdown (armed; NextEventCycle names the issue
+// cycle). It must run while it holds an unaccepted access, an open burst, or
+// an unarmed countdown.
+func (in *Injector) Idle() bool {
+	if in.limit > 0 && in.Issued >= in.warmup+in.limit {
+		return true
+	}
+	if in.outstanding >= in.maxOutstanding {
+		return true
+	}
+	if in.pending != nil || in.burstLeft > 0 {
+		return false
+	}
+	return in.armed
+}
+
+// NextEventCycle implements sim.NextEventer: the presampled issue cycle when
+// armed; nothing otherwise (completions re-activate the unit via link
+// wakes). outstanding cannot reach the cap while armed, so an armed injector
+// always fires at issueAt.
+func (in *Injector) NextEventCycle(cycle uint64) uint64 {
+	if in.limit > 0 && in.Issued >= in.warmup+in.limit {
+		return sim.NoEvent
+	}
+	if !in.armed || in.outstanding >= in.maxOutstanding {
+		return sim.NoEvent
+	}
+	if in.issueAt <= cycle {
+		return cycle + 1
+	}
+	return in.issueAt
+}
 
 // generate draws the next access from the profile's address mixture. The
 // warmup phase is write-heavy: it models the producer/initialisation phase

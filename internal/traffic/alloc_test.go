@@ -22,15 +22,31 @@ func warmMesh(t *testing.T) (*sim.Kernel, *noc.Mesh) {
 // GOMAXPROCS up for the test so the phase pool picks its concurrent mode
 // even on a single-CPU host, and warms the pool before the caller measures.
 func warmMeshWorkers(t *testing.T, workers int) (*sim.Kernel, *noc.Mesh) {
+	return warmMeshRate(t, workers, 0.05)
+}
+
+// warmMeshRate is warmMeshWorkers with an explicit injection rate; near-zero
+// rates leave most units parked, exercising the activity engine's wake and
+// timing-wheel paths instead of the saturated every-cycle path.
+func warmMeshRate(t *testing.T, workers int, rate float64) (*sim.Kernel, *noc.Mesh) {
+	return warmMeshSized(t, workers, 6, 6, rate, true)
+}
+
+// warmMeshSized is the fully-parameterized builder shared with the
+// throughput benchmarks: mesh dimensions, injection rate, and the activity
+// engine's on/off switch.
+func warmMeshSized(t testing.TB, workers, w, h int, rate float64, idleSkip bool) (*sim.Kernel, *noc.Mesh) {
 	t.Helper()
 	if workers > 1 {
 		old := runtime.GOMAXPROCS(4)
 		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
 	}
+	netCfg := noc.DefaultConfig()
+	netCfg.Width, netCfg.Height = w, h
 	cfg := Config{
-		Net:           noc.DefaultConfig(), // 6×6
+		Net:           netCfg,
 		Pattern:       UniformRandom,
-		InjectionRate: 0.05,
+		InjectionRate: rate,
 		Flits:         1,
 		Seed:          7,
 	}
@@ -41,31 +57,40 @@ func warmMeshWorkers(t *testing.T, workers int) (*sim.Kernel, *noc.Mesh) {
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed + 1)
 	nodes := make([]*node, cfg.Net.Nodes())
-	flits := &noc.FlitPool{}
-	pkts := &pktPool{}
 	for i := range nodes {
+		// Pools are per node here, unlike traffic.Run's shared lists: node
+		// units shard across workers in the parallel variants, and a pool may
+		// only be touched by its owning unit. Flit inventory self-balances
+		// via the credit carcasses; the packet lists just get a deep prime.
 		nodes[i] = &node{
 			id: i, cfg: cfg, mesh: mesh,
 			tr:    noc.NewOutputTracker(cfg.Net),
 			rng:   rng.Fork(),
 			lat:   stats.NewHistogram(4, 512),
 			queue: ring.New[*noc.Packet](8),
-			pool:  flits,
-			pkts:  pkts,
+			pool:  &noc.FlitPool{},
+			pkts:  &pktPool{},
 		}
+		nodes[i].armNext(0)
 		mesh.AttachESID(i, nodes[i])
-		k.Register(nodes[i])
+		nodes[i].BindActivity(k.Register(nodes[i]))
 	}
 	mesh.Register(k)
 	k.SetWorkers(workers)
+	k.SetIdleSkip(idleSkip)
 
 	// Prime the pools past their steady-state bounds: a pool's deficit is
 	// capped by in-flight inventory, but the first excursion to each new
 	// high-water mark allocates, and those rare record events would otherwise
 	// trickle in forever (~2 per 1000 cycles after warmup).
 	mesh.PrimeFlitPools(16)
-	flits.Prime(4096)
-	pkts.free = make([]*noc.Packet, 0, 4096)
+	for _, n := range nodes {
+		n.pool.Prime(512)
+		n.pkts.free = make([]*noc.Packet, 0, 1024)
+		for j := 0; j < 512; j++ {
+			n.pkts.put(&noc.Packet{})
+		}
+	}
 
 	// Warm up: rings reach their high-water capacity, credit buffers settle.
 	k.Run(4000)
@@ -150,6 +175,46 @@ func TestMeshSteadyStateAllocsParallel(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// TestMeshSteadyStateAllocsIdleSkip pins the activity engine's own hot path:
+// at a near-idle injection rate most scheduling units are parked most of the
+// time, so a step window is dominated by boundary scans, timing-wheel filing
+// and draining, demote passes and active-list rebuilds — all of which must
+// be allocation-free once the wheel slots and dispatch lists have grown to
+// their steady-state capacity.
+func TestMeshSteadyStateAllocsIdleSkip(t *testing.T) {
+	k, _ := warmMeshRate(t, 1, 0.002)
+	if !k.IdleSkip() {
+		t.Fatal("idle skip must be on by default")
+	}
+	active, total := k.ActiveUnits()
+	if active >= total {
+		t.Fatalf("near-idle mesh has %d/%d units active; the test would not exercise parking", active, total)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("near-idle warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// TestMeshSteadyStateAllocsIdleSkipParallel is the sharded version: parking
+// and waking under the phase pool must stay allocation-free too (the active
+// lists are per-shard index slices reused across rebuilds).
+func TestMeshSteadyStateAllocsIdleSkipParallel(t *testing.T) {
+	k, _ := warmMeshRate(t, 4, 0.002)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("near-idle parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
 	}
 }
 

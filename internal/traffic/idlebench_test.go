@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"scorpio/internal/noc"
+)
+
+// TestTrafficIdleSkipEquivalence pins the open-loop harness's A/B contract:
+// parking idle nodes and routers (and fast-forwarding quiescent spans) must
+// not change a single measured number at any injection rate, from near-idle
+// to saturation.
+func TestTrafficIdleSkipEquivalence(t *testing.T) {
+	for _, pattern := range []Pattern{UniformRandom, Broadcast} {
+		for _, rate := range []float64{0.01, 0.05, 0.30} {
+			cfg := Config{
+				Net:           noc.DefaultConfig(), // 6×6
+				Pattern:       pattern,
+				InjectionRate: rate,
+				Flits:         1,
+				Cycles:        8000,
+				Seed:          11,
+			}
+			ref := mustRun(t, withSkip(cfg, true))
+			got := mustRun(t, withSkip(cfg, false))
+			if ref != got {
+				t.Errorf("%v rate=%.2f diverged:\nskip-off: %+v\nskip-on:  %+v", pattern, rate, ref, got)
+			}
+			if ref.Delivered == 0 {
+				t.Errorf("%v rate=%.2f delivered nothing", pattern, rate)
+			}
+		}
+	}
+}
+
+func withSkip(cfg Config, disable bool) Config {
+	cfg.DisableIdleSkip = disable
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkKernelThroughputIdle is the activity engine's figure of merit:
+// kernel stepping speed over a mesh-size × injection-rate grid, with the
+// engine on and off. The interesting corners are near-zero load — where
+// parked units and fast-forward should buy a large cycles/s multiple — and
+// saturation, where the engine must cost nearly nothing because nothing is
+// ever idle. cycles/s is the honest metric (ns/op is per simulated cycle).
+func BenchmarkKernelThroughputIdle(b *testing.B) {
+	for _, m := range []struct{ w, h int }{{6, 6}, {10, 10}} {
+		for _, rate := range []float64{0.30, 0.05, 0.01} {
+			for _, skip := range []bool{true, false} {
+				name := fmt.Sprintf("mesh=%dx%d/rate=%.2f/skip=%v", m.w, m.h, rate, skip)
+				b.Run(name, func(b *testing.B) {
+					k, _ := warmMeshSized(b, 1, m.w, m.h, rate, skip)
+					b.ResetTimer()
+					k.Run(uint64(b.N))
+					b.StopTimer()
+					if secs := b.Elapsed().Seconds(); secs > 0 {
+						b.ReportMetric(float64(b.N)/secs, "cycles/s")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIdleSkipSpeedupGuard is the benchsmoke gate's tripwire for the
+// activity engine, mirroring TestParallelSpeedupGuard's pattern: it only
+// runs when the Makefile sets SCORPIO_IDLESKIP_GUARD=1, because a timing
+// measurement inside the ordinary suite would be noise. Two bounds, both
+// from the engine's design goals: at least 2x cycles/s on a near-idle 6x6
+// mesh (0.01 flits/node/cycle), and at most 5% overhead at saturation,
+// where no unit ever parks and the engine reduces to boundary scans and
+// demote polls.
+func TestIdleSkipSpeedupGuard(t *testing.T) {
+	if os.Getenv("SCORPIO_IDLESKIP_GUARD") == "" {
+		t.Skip("idle-skip guard runs from `make benchsmoke` (SCORPIO_IDLESKIP_GUARD=1)")
+	}
+	measure := func(rate float64, skip bool) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			k, _ := warmMeshSized(b, 1, 6, 6, rate, skip)
+			b.ResetTimer()
+			k.Run(uint64(b.N))
+		})
+		return float64(r.NsPerOp())
+	}
+	idleOn, idleOff := measure(0.01, true), measure(0.01, false)
+	if idleOn*2 > idleOff {
+		t.Errorf("near-idle speedup %.2fx (on %.0f ns/cycle, off %.0f): the activity engine stopped paying (want >= 2x)",
+			idleOff/idleOn, idleOn, idleOff)
+	}
+	satOn, satOff := measure(0.30, true), measure(0.30, false)
+	if satOn > satOff*1.05 {
+		t.Errorf("saturation overhead %.1f%% (on %.0f ns/cycle, off %.0f): the engine must cost <= 5%% when nothing idles",
+			100*(satOn/satOff-1), satOn, satOff)
+	}
+	t.Logf("near-idle %.2fx speedup (%.0f vs %.0f ns/cycle); saturation %+.1f%% (%.0f vs %.0f ns/cycle)",
+		idleOff/idleOn, idleOn, idleOff, 100*(satOn/satOff-1), satOn, satOff)
+}

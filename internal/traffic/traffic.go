@@ -65,6 +65,9 @@ type Config struct {
 	// Cycles is the measurement length; the first Cycles/5 are warmup.
 	Cycles uint64
 	Seed   uint64
+	// DisableIdleSkip steps every component every cycle instead of parking
+	// idle ones; results are identical either way (A/B validation).
+	DisableIdleSkip bool
 }
 
 // Result is one run's measurement.
@@ -101,6 +104,8 @@ type node struct {
 	seq     int
 	vc      int
 	warm    uint64
+	now     uint64
+	issueAt uint64
 	lat     *stats.Histogram
 	recv    uint64
 	offered uint64
@@ -130,17 +135,62 @@ func (pp *pktPool) put(p *noc.Packet) { pp.free = append(pp.free, p) }
 
 func (n *node) ExpectedSID() (int, uint64, bool) { return 0, 0, false }
 
+// armNext presamples the cycle of the next injection attempt by running the
+// exact Bernoulli trials per-cycle generation would run, starting at `from`.
+// The RNG stream is therefore bit-identical to drawing one trial per cycle,
+// while letting a quiet node park until issueAt instead of stepping every
+// cycle just to flip a coin.
+func (n *node) armNext(from uint64) {
+	if n.cfg.InjectionRate <= 0 {
+		n.issueAt = sim.NoEvent
+		return
+	}
+	for at := from; ; at++ {
+		if n.rng.Bernoulli(n.cfg.InjectionRate) {
+			n.issueAt = at
+			return
+		}
+	}
+}
+
+// BindActivity wires the node's scheduling unit to its mesh links so flit
+// deliveries and credit returns wake a parked node.
+func (n *node) BindActivity(a *sim.Activity) {
+	n.mesh.InjectLink(n.id).SetCreditWake(a)
+	n.mesh.EjectLink(n.id).SetFlitWake(a)
+}
+
+// Idle reports whether the node can park: nothing queued or mid-injection,
+// and — because link wakes are edge-triggered and dropped while the node is
+// active — no committed flit or credit awaiting next-cycle consumption.
+func (n *node) Idle() bool {
+	if n.cur != nil || !n.queue.Empty() {
+		return false
+	}
+	return !n.mesh.EjectLink(n.id).FlitPendingAt(n.now) &&
+		!n.mesh.InjectLink(n.id).CreditsPendingAt(n.now)
+}
+
+// NextEventCycle names the presampled injection cycle as the node's wake.
+func (n *node) NextEventCycle(cycle uint64) uint64 {
+	if n.issueAt <= cycle {
+		return cycle + 1
+	}
+	return n.issueAt
+}
+
 // Evaluate generates, injects and sinks packets.
 func (n *node) Evaluate(cycle uint64) {
+	n.now = cycle
 	inj := n.mesh.InjectLink(n.id)
-	for _, c := range inj.Credits() {
+	for _, c := range inj.Credits(cycle) {
 		n.tr.ProcessCredit(c)
 		n.pool.Put(c.Carcass)
 	}
 	// Sink.
 	ej := n.mesh.EjectLink(n.id)
-	if f := ej.Flit(); f != nil {
-		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()})
+	if f := ej.Flit(cycle); f != nil {
+		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()}, cycle)
 		if f.IsTail() {
 			if cycle >= n.warm {
 				n.recv++
@@ -152,15 +202,19 @@ func (n *node) Evaluate(cycle uint64) {
 		}
 		n.pool.Put(f)
 	}
-	// Open-loop generation (Bernoulli per cycle).
-	if n.rng.Bernoulli(n.cfg.InjectionRate) {
+	// Open-loop generation: the per-cycle Bernoulli trials are presampled
+	// into issueAt (see armNext), preserving the RNG stream exactly.
+	if cycle == n.issueAt {
 		if dst, bcast, ok := n.destination(); ok {
 			vnet := noc.UOResp
 			if bcast {
 				vnet = noc.GOReq
 			}
 			p := n.pkts.get()
-			p.ID, p.VNet, p.Src, p.SID = n.mesh.NextPacketID(), vnet, n.id, n.id
+			// IDs are derived from (cycle, node) instead of a shared counter:
+			// unique because a node injects at most one packet per cycle, and
+			// free of cross-shard writes when node units run in parallel.
+			p.ID, p.VNet, p.Src, p.SID = cycle*uint64(n.cfg.Net.Nodes())+uint64(n.id)+1, vnet, n.id, n.id
 			p.Dst, p.Broadcast, p.Flits, p.InjectCycle = dst, bcast, n.cfg.Flits, cycle
 			if bcast {
 				p.Flits = 1
@@ -170,6 +224,7 @@ func (n *node) Evaluate(cycle uint64) {
 				n.offered++
 			}
 		}
+		n.armNext(cycle + 1)
 	}
 	// Injection, one flit per cycle.
 	if n.cur == nil && !n.queue.Empty() {
@@ -187,7 +242,7 @@ func (n *node) Evaluate(cycle uint64) {
 			if n.seq > 0 {
 				n.tr.ChargeBody(n.cur.VNet, n.vc)
 			}
-			inj.Send(n.pool.Get(n.cur, n.seq, n.vc))
+			inj.Send(n.pool.Get(n.cur, n.seq, n.vc), cycle)
 			n.seq++
 			if n.seq == n.cur.Flits {
 				n.cur = nil
@@ -262,10 +317,12 @@ func Run(cfg Config) (Result, error) {
 			pool:  flits,
 			pkts:  pkts,
 		}
+		nodes[i].armNext(0)
 		mesh.AttachESID(i, nodes[i])
-		k.Register(nodes[i])
+		nodes[i].BindActivity(k.Register(nodes[i]))
 	}
 	mesh.Register(k)
+	k.SetIdleSkip(!cfg.DisableIdleSkip)
 	k.Run(cfg.Cycles)
 	res := Result{Pattern: cfg.Pattern, InjectionRate: cfg.InjectionRate}
 	var latSum float64

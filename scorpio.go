@@ -115,6 +115,11 @@ type Config struct {
 	// shards the components over N goroutines with identical results.
 	// TokenB/INSO always run serially (their orderers are shared state).
 	Workers int
+	// DisableIdleSkip turns off the kernel's activity engine, stepping every
+	// component every cycle instead of parking quiescent nodes and
+	// fast-forwarding fully idle epochs. Results are bit-identical either
+	// way; the flag exists for A/B validation and overhead measurement.
+	DisableIdleSkip bool
 
 	// Observability (PR 3). All default to off; when off the hooks compile
 	// to a nil-check and the hot path stays allocation-free.
@@ -303,6 +308,7 @@ func runScorpio(cfg Config, prof trace.Profile) (Result, error) {
 	opt.MaxOutstanding = cfg.MaxOutstanding
 	opt.Seed = cfg.Seed
 	opt.Workers = cfg.Workers
+	opt.DisableIdleSkip = cfg.DisableIdleSkip
 	if cfg.ChannelBytes != 0 {
 		opt.Core.Net.ChannelBytes = cfg.ChannelBytes
 	}
@@ -363,6 +369,7 @@ func runDirectory(cfg Config, prof trace.Profile, v directory.Variant) (Result, 
 	opt.MaxOutstanding = cfg.MaxOutstanding
 	opt.Seed = cfg.Seed
 	opt.Workers = cfg.Workers
+	opt.DisableIdleSkip = cfg.DisableIdleSkip
 	if cfg.MaxOutstanding > 2 {
 		opt.L2 = directory.DefaultL2Config(opt.Net.Nodes(), v)
 		opt.L2.DataFlits = opt.Net.DataPacketFlits()
@@ -389,6 +396,7 @@ func runBaseline(cfg Config, prof trace.Profile, scheme system.OrderingScheme) (
 	opt.WarmupPerCore = cfg.WarmupPerCore
 	opt.MaxOutstanding = cfg.MaxOutstanding
 	opt.Seed = cfg.Seed
+	opt.DisableIdleSkip = cfg.DisableIdleSkip
 	opt.L2.DataFlits = opt.Net.DataPacketFlits()
 	if cfg.MaxOutstanding > opt.L2.MSHRs {
 		opt.L2.MSHRs = cfg.MaxOutstanding
