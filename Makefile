@@ -3,7 +3,7 @@ GO ?= go
 # Bump per PR that re-baselines the benchmark report.
 BENCH_JSON ?= BENCH_4.json
 
-.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke
+.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke perfsmoke
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc ./internal/traffic
 
 # The full local CI gate.
-check: vet test race benchsmoke tracesmoke auditsmoke
+check: vet test race benchsmoke tracesmoke auditsmoke perfsmoke
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
 # network-only router benchmark, the raw kernel stepping benchmark, the
@@ -57,6 +57,21 @@ benchsmoke:
 	$(GO) test -bench 'BenchmarkKernelThroughputIdle/mesh=6x6' -benchmem -benchtime 1x -run '^$$' ./internal/traffic
 	SCORPIO_SPEEDUP_GUARD=1 $(GO) test -run 'TestParallelSpeedupGuard$$' -v ./internal/system
 	SCORPIO_IDLESKIP_GUARD=1 $(GO) test -run 'TestIdleSkipSpeedupGuard$$' -v ./internal/traffic
+
+# The engine self-observability smoke: a monitored run must emit a valid
+# RunReport; benchdiff must pass a self-compare (exit 0) and catch a
+# perturbed throughput figure (exit 1); the accounting bound (per-worker
+# time sums within 5% of wall clock), the <=2% monitor-overhead guard, and
+# the 0-allocs/step pins with the monitor attached must all hold.
+perfsmoke: build
+	$(GO) run ./cmd/scorpiosim -bench fft -work 60 -warmup 40 -perf-report /tmp/scorpio-perfsmoke.json > /dev/null
+	$(GO) run ./cmd/benchdiff /tmp/scorpio-perfsmoke.json /tmp/scorpio-perfsmoke.json
+	sed -E 's/"cycles_per_sec": [0-9.e+]+/"cycles_per_sec": 1.0/' \
+		/tmp/scorpio-perfsmoke.json > /tmp/scorpio-perfsmoke-bad.json
+	! $(GO) run ./cmd/benchdiff /tmp/scorpio-perfsmoke.json /tmp/scorpio-perfsmoke-bad.json
+	$(GO) test -run 'TestPerfReportAccounting$$' -v ./internal/system
+	SCORPIO_PERF_GUARD=1 $(GO) test -run 'TestPerfmonOverheadGuard$$' -v ./internal/system
+	$(GO) test -run 'TestMeshSteadyStateAllocsPerfmon' -v ./internal/traffic
 
 # The trace-format smoke: produce a lifecycle trace from a short 36-core run
 # and validate it parses as Chrome trace-event JSON with at least one fully

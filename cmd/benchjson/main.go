@@ -13,6 +13,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"scorpio/internal/obs/perfmon"
 )
 
 // sample is one benchmark result line.
@@ -34,15 +36,22 @@ type benchmark struct {
 }
 
 type report struct {
-	GoOS       string       `json:"goos,omitempty"`
-	GoArch     string       `json:"goarch,omitempty"`
-	Package    string       `json:"pkg,omitempty"`
-	CPU        string       `json:"cpu,omitempty"`
-	Benchmarks []*benchmark `json:"benchmarks"`
+	GoOS    string `json:"goos,omitempty"`
+	GoArch  string `json:"goarch,omitempty"`
+	Package string `json:"pkg,omitempty"`
+	CPU     string `json:"cpu,omitempty"`
+	// Host stamps the machine the benchmarks ran on (NumCPU, GOMAXPROCS, go
+	// version, commit) so cross-host baseline trajectories stay
+	// interpretable; benchdiff downgrades regressions to warnings when two
+	// files' hosts differ.
+	Host       *perfmon.HostInfo `json:"host,omitempty"`
+	Benchmarks []*benchmark      `json:"benchmarks"`
 }
 
 func main() {
 	var rep report
+	host := perfmon.Host()
+	rep.Host = &host
 	byName := map[string]*benchmark{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

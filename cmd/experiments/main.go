@@ -28,17 +28,18 @@ func main() {
 		noSkip  = flag.Bool("no-idle-skip", false, "step every component every cycle (disable the activity engine; results are identical)")
 
 		tracePath  = flag.String("trace", "", "run one traced SCORPIO point and write Chrome trace-event JSON to this path")
-		metricsIvl = flag.Uint64("metrics-interval", 0, "metrics sampling interval for the traced point (0 = off)")
+		metricsIvl = flag.Uint64("metrics-interval", 0, "metrics sampling interval for the traced/instrumented point (0 = off)")
 		watchdog   = flag.Uint64("watchdog", 0, "arm the forward-progress watchdog on every run (cycles without progress; 0 = off)")
 		audit      = flag.Bool("audit", false, "attach the online ordering/coherence auditor to every run")
+		perfPath   = flag.String("perf-report", "", "run one instrumented SCORPIO point and write its perf RunReport JSON to this path")
 		pprofPath  = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["metrics-interval"] && *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -metrics-interval only applies to the traced point; it needs -trace PATH")
+	if set["metrics-interval"] && *tracePath == "" && *perfPath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics-interval only applies to the traced/instrumented point; it needs -trace PATH or -perf-report PATH")
 		os.Exit(2)
 	}
 
@@ -68,9 +69,10 @@ func main() {
 	scale.Audit = *audit
 	scale.DisableIdleSkip = *noSkip
 
-	if *tracePath != "" {
-		// One dedicated traced 36-core SCORPIO run; the sweeps below stay
-		// untraced so tracing never perturbs the figures.
+	if *tracePath != "" || *perfPath != "" {
+		// One dedicated instrumented 36-core SCORPIO run; the sweeps below
+		// stay uninstrumented so tracing/monitoring never perturbs the
+		// figures.
 		cfg := scorpio.Config{
 			Protocol: scorpio.SCORPIO, Benchmark: "barnes",
 			WorkPerCore: scale.Work, WarmupPerCore: scale.Warmup,
@@ -78,16 +80,26 @@ func main() {
 			TracePath:       *tracePath,
 			MetricsInterval: *metricsIvl,
 			Audit:           *audit,
+			PerfReportPath:  *perfPath,
 		}
 		if *metricsIvl > 0 {
-			cfg.MetricsPath = strings.TrimSuffix(*tracePath, ".json") + "-metrics.csv"
+			base := *tracePath
+			if base == "" {
+				base = *perfPath
+			}
+			cfg.MetricsPath = strings.TrimSuffix(base, ".json") + "-metrics.csv"
 		}
 		res, err := scorpio.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: traced run: %v\n", err)
+			fmt.Fprintf(os.Stderr, "experiments: instrumented run: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("traced SCORPIO/barnes run: %d cycles, trace written to %s\n\n", res.Cycles, *tracePath)
+		if *tracePath != "" {
+			fmt.Printf("traced SCORPIO/barnes run: %d cycles, trace written to %s\n\n", res.Cycles, *tracePath)
+		}
+		if res.Obs != nil && res.Obs.PerfReport != nil {
+			fmt.Printf("instrumented SCORPIO/barnes run: report written to %s\n%s\n", *perfPath, res.Obs.PerfReport.Table())
+		}
 	}
 	effective := *workers
 	if effective <= 0 {

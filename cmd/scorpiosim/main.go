@@ -46,6 +46,7 @@ func main() {
 		watchdog    = flag.Uint64("watchdog", 0, "abort with a network snapshot after N cycles without progress (0 = off)")
 		audit       = flag.Bool("audit", false, "attach the online ordering/coherence auditor and latency attributor")
 		auditEvery  = flag.Int("audit-every", 0, "auditor stale-sharer sweep period in cycles (0 = default; requires -audit)")
+		perfPath    = flag.String("perf-report", "", "attach the engine perf monitor and write its RunReport JSON to this path (\"-\" prints the table only)")
 		pprofPath   = flag.String("pprof", "", "write a CPU profile to this path")
 	)
 	flag.Parse()
@@ -109,6 +110,7 @@ func main() {
 		WatchdogCycles:  *watchdog,
 		Audit:           *audit,
 		AuditEvery:      *auditEvery,
+		PerfReportPath:  *perfPath,
 	}
 	if *metricsIvl > 0 {
 		cfg.MetricsPath = *metricsPath
@@ -157,6 +159,9 @@ func main() {
 		if t := res.Obs.Attrib.Table(); t != "" {
 			fmt.Print(t)
 		}
+	}
+	if res.Obs != nil && res.Obs.PerfReport != nil {
+		fmt.Print(res.Obs.PerfReport.Table())
 	}
 }
 

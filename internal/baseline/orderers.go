@@ -114,7 +114,7 @@ func (o *INSO) AssignKey(node int, cycle uint64) uint64 {
 	k := o.nextSlot[node]
 	o.nextSlot[node]++
 	o.RealRequests++
-	o.self.Wake(o.nextBoundary(cycle))
+	o.self.Wake(o.nextBoundary(cycle), sim.WakeTimer)
 	return uint64(node) + uint64(o.nodes)*k
 }
 
@@ -157,7 +157,7 @@ func (o *INSO) Evaluate(cycle uint64) {
 		o.ExpiredSlots += to - from
 		o.pending[s]++
 		o.pendingSince[s] = cycle
-		o.endAct[s].Wake(cycle + 1)
+		o.endAct[s].Wake(cycle+1, sim.WakeOrder)
 	}
 }
 

@@ -432,7 +432,7 @@ func (n *NIC) Commit(cycle uint64) {
 	// is quiet.
 	if n.cfg.Ordered && (count > 0 || stop) {
 		w := uint64(n.ncfg.Window())
-		n.notifAct.Wake((cycle/w + 1) * w)
+		n.notifAct.Wake((cycle/w+1)*w, sim.WakeNotif)
 	}
 }
 

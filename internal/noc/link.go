@@ -84,7 +84,7 @@ func (l *Link) Send(f *Flit, cycle uint64) {
 	}
 	l.buf[s] = f
 	l.stamp[s] = cycle
-	l.flitWake.Wake(cycle + 1)
+	l.flitWake.Wake(cycle+1, sim.WakeFlit)
 }
 
 // Flit returns the flit that arrived this cycle, or nil.
@@ -109,7 +109,7 @@ func (l *Link) SendCredit(c Credit, cycle uint64) {
 		l.cstamp[s] = cycle
 	}
 	l.cred[s] = append(l.cred[s], c)
-	l.credWake.Wake(cycle + 1)
+	l.credWake.Wake(cycle+1, sim.WakeCredit)
 }
 
 // Credits returns the credits that arrived this cycle (nil when none).

@@ -363,7 +363,7 @@ func (n *Network) Commit(cycle uint64) {
 			// Every node consumes the merged vector on the next cycle (the
 			// following window's first); wake any parked sources for it.
 			for _, a := range n.srcActs {
-				a.Wake(cycle + 1)
+				a.Wake(cycle+1, sim.WakeNotif)
 			}
 		}
 		n.winLive = false

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampledMetrics builds a small three-column series with a heatmap, the
+// shared fixture for the round-trip tests.
+func sampledMetrics() *Metrics {
+	m := NewMetrics(100, []string{"injected", "ejected", "parks"})
+	m.Add(100, []float64{1, 2, 3})
+	m.Add(200, []float64{4.5, 0, 6})
+	m.Add(300, []float64{7, 8, 1e6})
+	m.SetHeatmap(2, 1, []float64{0.25, 0.75})
+	return m
+}
+
+func TestMetricsNilAndDue(t *testing.T) {
+	var m *Metrics
+	if m.Due(100) || m.Samples() != 0 || m.Columns() != nil {
+		t.Fatal("nil metrics must be inert")
+	}
+	m.Add(1, nil) // must not panic
+	s := NewMetrics(100, nil)
+	if !s.Due(200) || s.Due(250) || s.Due(0) == false {
+		t.Fatal("Due must fire exactly on interval multiples")
+	}
+}
+
+func TestMetricsCSVRoundTrip(t *testing.T) {
+	m := sampledMetrics()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,injected,ejected,parks" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != m.Samples()+1 {
+		t.Fatalf("%d data rows, want %d", len(lines)-1, m.Samples())
+	}
+	wantCycles := []uint64{100, 200, 300}
+	wantVals := [][]float64{{1, 2, 3}, {4.5, 0, 6}, {7, 8, 1e6}}
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			t.Fatalf("row %d has %d fields: %q", i, len(fields), line)
+		}
+		cyc, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil || cyc != wantCycles[i] {
+			t.Fatalf("row %d cycle %q, want %d", i, fields[0], wantCycles[i])
+		}
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil || v != wantVals[i][j] {
+				t.Fatalf("row %d col %d = %q, want %g", i, j, f, wantVals[i][j])
+			}
+		}
+	}
+}
+
+// jsonMetrics mirrors the WriteJSON envelope for the round-trip check.
+type jsonMetrics struct {
+	Columns []string             `json:"columns"`
+	Samples []map[string]float64 `json:"samples"`
+	Heatmap *struct {
+		Width  int       `json:"width"`
+		Height int       `json:"height"`
+		Util   []float64 `json:"util"`
+	} `json:"heatmap"`
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	m := sampledMetrics()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonMetrics
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if want := []string{"cycle", "injected", "ejected", "parks"}; strings.Join(got.Columns, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns %v, want %v", got.Columns, want)
+	}
+	if len(got.Samples) != m.Samples() {
+		t.Fatalf("%d samples, want %d", len(got.Samples), m.Samples())
+	}
+	if got.Samples[1]["cycle"] != 200 || got.Samples[1]["injected"] != 4.5 || got.Samples[2]["parks"] != 1e6 {
+		t.Fatalf("sample values did not round-trip: %v", got.Samples)
+	}
+	if got.Heatmap == nil || got.Heatmap.Width != 2 || got.Heatmap.Height != 1 {
+		t.Fatalf("heatmap envelope did not round-trip: %+v", got.Heatmap)
+	}
+	if len(got.Heatmap.Util) != 2 || got.Heatmap.Util[1] != 0.75 {
+		t.Fatalf("heatmap values did not round-trip: %v", got.Heatmap.Util)
+	}
+}
+
+func TestMetricsJSONNoHeatmap(t *testing.T) {
+	m := NewMetrics(10, []string{"a"})
+	m.Add(10, []float64{1})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonMetrics
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Heatmap != nil {
+		t.Fatalf("heatmap key present without SetHeatmap: %s", buf.String())
+	}
+}

@@ -37,11 +37,19 @@ type Options struct {
 	// AuditEvery overrides the auditor's shadow-sweep interval in cycles
 	// (the auditor's default when zero).
 	AuditEvery int
+	// Perf attaches the engine self-observability monitor (internal/obs/
+	// perfmon): sampled per-worker phase timing plus the activity-engine
+	// event census, drained into a RunReport at the end of the run.
+	Perf bool
+	// ConfigDigest fingerprints the simulation-relevant configuration; it is
+	// stamped into the RunReport so benchdiff never silently compares
+	// different workloads.
+	ConfigDigest string
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
-	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0 || o.Audit
+	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0 || o.Audit || o.Perf
 }
 
 // DefaultTraceCapacity is the event ring size when Options.TraceCapacity is

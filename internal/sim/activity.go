@@ -1,6 +1,25 @@
 package sim
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"scorpio/internal/obs/perfmon"
+)
+
+// WakeEdge re-exports the perfmon wake-edge taxonomy: producers classify
+// their Wake calls so the engine's self-observability layer can report who
+// wakes whom (see perfmon.ActivityCounters.Wakes).
+type WakeEdge = perfmon.WakeEdge
+
+// Wake edge kinds (see perfmon's definitions for semantics).
+const (
+	WakeFlit   = perfmon.WakeFlit
+	WakeCredit = perfmon.WakeCredit
+	WakeNotif  = perfmon.WakeNotif
+	WakeOrder  = perfmon.WakeOrder
+	WakeTimer  = perfmon.WakeTimer
+	WakeOther  = perfmon.WakeOther
+)
 
 // NoEvent is the "no known future event" sentinel for NextEventCycle and for
 // an Activity parked without a self-wake.
@@ -59,13 +78,17 @@ type Activity struct {
 	// sig points at the owning kernel's wake counter; every successful
 	// lowering bumps it so the driver knows a full reconcile scan is due.
 	sig *atomic.Uint64
+	// edges points at the owning kernel's per-edge wake census; each
+	// successful lowering is attributed to the producer's declared edge.
+	edges *[perfmon.NumWakeEdges]atomic.Uint64
 }
 
 // Wake requests that the unit run at the given cycle (or earlier, if an
-// earlier wake is already pending). Nil-safe and safe from any goroutine
-// during a cycle's phases; wakes land strictly before the driver's
-// between-cycle scan because the phase barriers order them.
-func (a *Activity) Wake(cycle uint64) {
+// earlier wake is already pending), attributing the request to the
+// producer's edge kind. Nil-safe and safe from any goroutine during a
+// cycle's phases; wakes land strictly before the driver's between-cycle
+// scan because the phase barriers order them.
+func (a *Activity) Wake(cycle uint64, edge WakeEdge) {
 	if a == nil {
 		return
 	}
@@ -81,6 +104,7 @@ func (a *Activity) Wake(cycle uint64) {
 		}
 		if a.state.CompareAndSwap(cur, cycle) {
 			a.sig.Add(1)
+			a.edges[edge].Add(1)
 			return
 		}
 	}

@@ -170,7 +170,7 @@ func (p *producer) Commit(cycle uint64) {
 	p.burster.Commit(cycle)
 	if deposit {
 		p.box.val, p.box.stamp, p.box.has = p.sum, cycle, true
-		p.target.Wake(cycle + 1)
+		p.target.Wake(cycle+1, WakeOther)
 	}
 }
 

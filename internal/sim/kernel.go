@@ -33,8 +33,13 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
+	"time"
+
+	"scorpio/internal/obs/perfmon"
 )
 
 // Component is a hardware block ticked once per cycle.
@@ -138,6 +143,17 @@ type Kernel struct {
 	demoteNext uint64      // cycle after which the next demote pass runs
 	demoteGap  uint64      // current demote interval (adaptive backoff)
 
+	// Self-observability state (see internal/obs/perfmon). The engine's
+	// event census in engineStats is always on — its plain fields are
+	// driver-written single increments — while the sampled phase timing only
+	// runs with a monitor attached (pm != nil). wakeEdges is the shared
+	// per-edge wake census every Activity points into.
+	pm          *perfmon.Mon
+	pmStride    uint64
+	pmSteps0    uint64 // engineStats.StepsExecuted when the monitor attached
+	engineStats perfmon.ActivityCounters
+	wakeEdges   [perfmon.NumWakeEdges]atomic.Uint64
+
 	observer func(cycle uint64)
 }
 
@@ -149,7 +165,7 @@ func NewKernel() *Kernel {
 // Register adds a component to the kernel's tick list as its own scheduling
 // unit and returns the unit's wake mailbox (stable for the kernel's life).
 func (k *Kernel) Register(c Component) *Activity {
-	a := &Activity{sig: &k.wakeSignal}
+	a := &Activity{sig: &k.wakeSignal, edges: &k.wakeEdges}
 	k.components = append(k.components, c)
 	k.groupKeys = append(k.groupKeys, k.nextAuto)
 	k.acts = append(k.acts, a)
@@ -171,7 +187,7 @@ func (k *Kernel) RegisterGroup(key int, c Component) *Activity {
 	}
 	a := k.groupActs[key]
 	if a == nil {
-		a = &Activity{sig: &k.wakeSignal}
+		a = &Activity{sig: &k.wakeSignal, edges: &k.wakeEdges}
 		k.groupActs[key] = a
 	}
 	k.components = append(k.components, c)
@@ -244,32 +260,57 @@ func (k *Kernel) Step() {
 	if skip {
 		k.boundary(cyc)
 	}
+	// With a monitor attached, every pmStride-th cycle is sampled: the
+	// driver stamps the full step span and each participant times its
+	// phases. In concurrent mode the predicate runs off the pool generation
+	// so workers (who only see g) reach the same verdict independently.
+	due := false
+	var t0 time.Time
+	if k.pm != nil {
+		if p != nil && !p.inline {
+			due = (p.gen+1)%k.pmStride == 0
+		} else {
+			due = (k.engineStats.StepsExecuted+1)%k.pmStride == 0
+		}
+		if due {
+			t0 = time.Now()
+		}
+	}
 	switch {
 	case p != nil:
 		if k.actDirty {
 			p.rebuildActive()
 			k.actDirty = false
 		}
-		p.step(cyc)
+		p.step(cyc, due)
 	case skip:
 		if k.actDirty {
 			k.rebuildSerialActive()
 			k.actDirty = false
 		}
-		for _, c := range k.serialAct {
-			c.Evaluate(cyc)
-		}
-		for _, c := range k.serialAct {
-			c.Commit(cyc)
+		if due {
+			k.stepListTimed(k.serialAct, cyc)
+		} else {
+			for _, c := range k.serialAct {
+				c.Evaluate(cyc)
+			}
+			for _, c := range k.serialAct {
+				c.Commit(cyc)
+			}
 		}
 	default:
-		for _, c := range k.components {
-			c.Evaluate(cyc)
-		}
-		for _, c := range k.components {
-			c.Commit(cyc)
+		if due {
+			k.stepListTimed(k.components, cyc)
+		} else {
+			for _, c := range k.components {
+				c.Evaluate(cyc)
+			}
+			for _, c := range k.components {
+				c.Commit(cyc)
+			}
 		}
 	}
+	k.engineStats.StepsExecuted++
 	k.cycle++
 	if k.observer != nil {
 		k.observer(cyc)
@@ -282,6 +323,29 @@ func (k *Kernel) Step() {
 		}
 		k.demoteNext = cyc + k.demoteGap
 	}
+	if due {
+		// Stamped last so the span covers observer, demote and boundary work
+		// — the report's "other" bucket is derived from it.
+		k.pm.Worker(0).StepNs.Add(int64(time.Since(t0)))
+	}
+}
+
+// stepListTimed is the sampled-cycle serial dispatch: the same work as the
+// plain loops with the evaluate and commit phases timed into participant 0's
+// monitor slot. Kept separate so the unsampled hot path stays untouched.
+func (k *Kernel) stepListTimed(list []Component, cyc uint64) {
+	w := k.pm.Worker(0)
+	t0 := time.Now()
+	for _, c := range list {
+		c.Evaluate(cyc)
+	}
+	t1 := time.Now()
+	for _, c := range list {
+		c.Commit(cyc)
+	}
+	w.EvalNs.Add(int64(t1.Sub(t0)))
+	w.CommitNs.Add(int64(time.Since(t1)))
+	w.Sampled.Add(1)
 }
 
 // Run executes n cycles. Worker goroutines stay warm on return so repeated
@@ -338,6 +402,8 @@ func (k *Kernel) fastForward(limit uint64) bool {
 	if mw > limit {
 		mw = limit
 	}
+	k.engineStats.FastForwards++
+	k.engineStats.FastForwardCycles += mw - k.cycle
 	k.cycle = mw
 	return true
 }
@@ -367,6 +433,7 @@ func (k *Kernel) boundary(cyc uint64) {
 		next := k.units[i].wheelNext
 		if k.units[i].wheelAt <= cyc {
 			k.activate(int(i)) // unlinks the unit from this slot
+			k.engineStats.WheelActivations++
 		}
 		// Entries with a later wheelAt are a wheel wrap: due some multiple of
 		// wheelSlots later, they stay linked in the same slot.
@@ -387,6 +454,7 @@ func (k *Kernel) activate(i int) {
 	u.wheelAt = NoEvent
 	k.nActive++
 	k.actDirty = true
+	k.engineStats.Activations++
 	k.demoteGap = demoteEvery
 	// Pull the next pass earlier, never later: under a steady trickle of
 	// wakes, pushing it out would starve demotion entirely.
@@ -410,6 +478,10 @@ func (k *Kernel) insertWheel(i int, at uint64) {
 		k.units[u.wheelNext].wheelPrev = int32(i)
 	}
 	k.wheelHead[slot] = int32(i)
+	k.engineStats.WheelPending++
+	if k.engineStats.WheelPending > k.engineStats.WheelHighWater {
+		k.engineStats.WheelHighWater = k.engineStats.WheelPending
+	}
 }
 
 // unlinkWheel splices unit i out of its slot's list (caller guarantees the
@@ -425,6 +497,7 @@ func (k *Kernel) unlinkWheel(i int) {
 		k.units[u.wheelNext].wheelPrev = u.wheelPrev
 	}
 	u.wheelNext, u.wheelPrev = -1, -1
+	k.engineStats.WheelPending--
 }
 
 // demotePass parks every active idle-capable unit whose components all
@@ -433,6 +506,7 @@ func (k *Kernel) unlinkWheel(i int) {
 // cycles on the driver, so Idle() sees the cycle just executed and no Wake
 // can race the state store.
 func (k *Kernel) demotePass(cyc uint64) bool {
+	k.engineStats.DemotePasses++
 	parked := false
 	for i := range k.units {
 		u := &k.units[i]
@@ -466,6 +540,7 @@ func (k *Kernel) demotePass(cyc uint64) bool {
 		u.act.state.Store(w)
 		k.nActive--
 		k.actDirty = true
+		k.engineStats.Parks++
 		parked = true
 		if w != NoEvent {
 			k.insertWheel(i, w)
@@ -516,11 +591,130 @@ func (k *Kernel) ActiveUnits() (active, total int) {
 // BalanceStats reports the cost-balanced sharder's activity since the pool
 // started: how many rebalance passes ran and how many unit migrations they
 // performed. Zeroes when the kernel is serial or the pool has not started.
+//
+// Safe to call mid-run, including from goroutines other than the driver
+// (watchdog hooks, test pollers): both counters are atomics written only by
+// the driver between cycles, so a concurrent read observes a consistent
+// recent value, never a torn one. The only caveat is reconfiguration —
+// SetWorkers/Register/SetIdleSkip swap the pool itself and must not race
+// this call, same as every other kernel mutation.
 func (k *Kernel) BalanceStats() (rebalances, migrations uint64) {
 	if k.pool == nil {
 		return 0, 0
 	}
-	return k.pool.rebalances, k.pool.migrations
+	return k.pool.rebalances.Load(), k.pool.migrations.Load()
+}
+
+// SetPerfMon attaches (or with nil detaches) the self-observability monitor.
+// With a monitor attached, every m.Stride-th cycle each participant times
+// its evaluate/commit phases and barrier waits into its padded slot; all
+// other cycles run the untouched hot loops. The activity-engine event census
+// (ActivityCounters) is always collected either way. Attaching marks the
+// engine dirty so a running pool rebuilds with its per-participant slots.
+func (k *Kernel) SetPerfMon(m *perfmon.Mon) {
+	k.pm = m
+	k.pmStride = m.EffectiveStride()
+	// The always-on census spans the kernel's lifetime; remember where the
+	// monitor came in so report extrapolation only covers the attached span.
+	k.pmSteps0 = k.engineStats.StepsExecuted
+	if m != nil {
+		m.EnsureWorkers(1)
+	}
+	k.dirty = true
+}
+
+// PerfMon returns the attached monitor (nil when detached).
+func (k *Kernel) PerfMon() *perfmon.Mon { return k.pm }
+
+// ActivityCounters snapshots the activity engine's cumulative event census,
+// folding the shared per-edge wake atomics into the copy. Driver-side
+// between cycles (the observer hook, or after a run).
+func (k *Kernel) ActivityCounters() perfmon.ActivityCounters {
+	a := k.engineStats
+	for e := range a.Wakes {
+		a.Wakes[e] = k.wakeEdges[e].Load()
+	}
+	return a
+}
+
+// ExecMode reports how the kernel actually executes cycles: "serial" (no
+// pool — everything on the driving goroutine), "inline" (pool built but
+// GOMAXPROCS<2 folds every shard onto the driver) or "parallel" (true
+// concurrent shards). Meaningful once the first Step has built the engine.
+func (k *Kernel) ExecMode() string {
+	switch {
+	case k.pool == nil:
+		return "serial"
+	case k.pool.inline:
+		return "inline"
+	default:
+		return "parallel"
+	}
+}
+
+// PerfReport drains the attached monitor into a RunReport, filling in the
+// run facts only the kernel knows (cycle count, execution mode, activity
+// census, balance stats). wallNs is the caller-measured wall time of the run
+// span the report covers. Returns nil when no monitor is attached.
+func (k *Kernel) PerfReport(label, configDigest string, wallNs int64) *perfmon.Report {
+	if k.pm == nil {
+		return nil
+	}
+	reb, mig := k.BalanceStats()
+	return k.pm.Report(perfmon.RunInfo{
+		Label:        label,
+		ConfigDigest: configDigest,
+		Workers:      k.Workers(),
+		Mode:         k.ExecMode(),
+		Cycles:         k.cycle,
+		WallNs:         wallNs,
+		Activity:       k.ActivityCounters(),
+		MonitoredSteps: k.engineStats.StepsExecuted - k.pmSteps0,
+		Rebalances:     reb,
+		Migrations:     mig,
+	})
+}
+
+// ActivityReport renders the activity engine's current state for hang
+// diagnosis: the active/parked unit census, pending timing-wheel wakes, the
+// cumulative park/wake counts by edge, and the parked units with no future
+// wake filed — exactly the ones a lost wake edge would strand forever. The
+// watchdog and auditor append it to their snapshots so a wedged-while-parked
+// hang names the missing wake rather than just the oldest stuck flit.
+// Driver-side, between cycles.
+func (k *Kernel) ActivityReport() string {
+	var b strings.Builder
+	a := k.ActivityCounters()
+	active, total := k.ActiveUnits()
+	fmt.Fprintf(&b, "activity: %d/%d units active, %d pending wheel wakes (high-water %d)\n",
+		active, total, a.WheelPending, a.WheelHighWater)
+	fmt.Fprintf(&b, "  %d parks, %d activations (%d from timers), %d demote passes, %d fast-forward spans (%d cycles)\n",
+		a.Parks, a.Activations, a.WheelActivations, a.DemotePasses, a.FastForwards, a.FastForwardCycles)
+	edges := make([]string, 0, perfmon.NumWakeEdges)
+	for e, n := range a.Wakes {
+		if n > 0 {
+			edges = append(edges, fmt.Sprintf("%s %d", perfmon.WakeEdge(e), n))
+		}
+	}
+	fmt.Fprintf(&b, "  wakes by edge: %s\n", strings.Join(edges, ", "))
+	const nameMax = 8
+	stranded := 0
+	for i := range k.units {
+		u := &k.units[i]
+		if u.active {
+			continue
+		}
+		if st := u.act.state.Load(); st == NoEvent {
+			if stranded < nameMax {
+				fmt.Fprintf(&b, "  unit %d (%T) parked with no pending wake\n", i, u.comps[0])
+			}
+			stranded++
+		}
+	}
+	if stranded > nameMax {
+		fmt.Fprintf(&b, "  ... and %d more parked without wakes\n", stranded-nameMax)
+	}
+	return b.String()
 }
 
 // ensureEngine rebuilds the scheduling units after registration, worker or
@@ -543,6 +737,9 @@ func (k *Kernel) ensureEngine() *phasePool {
 		for i := range k.wheelHead {
 			k.wheelHead[i] = -1
 		}
+		// A rebuild discards every filed wheel entry (units restart active);
+		// the gauge resets with them, the high-water mark survives.
+		k.engineStats.WheelPending = 0
 	}
 	if k.workers <= 1 || len(k.components) < 2*k.workers || k.noShard {
 		return nil
@@ -556,7 +753,7 @@ func (k *Kernel) ensureEngine() *phasePool {
 		if nw > len(k.units) {
 			nw = len(k.units)
 		}
-		k.pool = newPhasePool(k.units, nw)
+		k.pool = newPhasePool(k.units, nw, k.pm, k.pmStride)
 		// Leak guard: Run no longer tears the pool down, so a kernel that is
 		// simply dropped would otherwise strand parked goroutines. The pool
 		// holds no reference back to the kernel, so the cleanup fires once

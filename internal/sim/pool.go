@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"scorpio/internal/obs/perfmon"
 )
 
 // Cost-balancing cadence. Every sampleEvery-th cycle each worker times its
@@ -75,18 +77,28 @@ type phasePool struct {
 
 	fastSpin, yieldSpin int
 
-	// Rebalancing state (driver-only between cycles).
+	// Rebalancing state (driver-only between cycles). The two counters are
+	// atomics so BalanceStats may read them mid-run from any goroutine;
+	// writes stay driver-only.
 	load       []float64
 	order      []int
 	sorter     *costSorter
-	rebalances uint64
-	migrations uint64
+	rebalances atomic.Uint64
+	migrations atomic.Uint64
 	cleanup    runtime.Cleanup
+
+	// Self-observability (nil/zero when detached): the monitor, its sampling
+	// stride, and the per-participant slots resolved once at pool build so
+	// sampled cycles never chase pointers through the kernel.
+	pm       *perfmon.Mon
+	pmStride uint64
+	pmw      []*perfmon.Worker
 }
 
 // newPhasePool builds the pool, packs the initial shards from the seeded
 // costs, and launches nw-1 worker goroutines (the driver is participant 0).
-func newPhasePool(units []unit, nw int) *phasePool {
+// A non-nil pm attaches sampled self-observability at the given stride.
+func newPhasePool(units []unit, nw int, pm *perfmon.Mon, stride uint64) *phasePool {
 	p := &phasePool{
 		units:  units,
 		nw:     nw,
@@ -97,6 +109,14 @@ func newPhasePool(units []unit, nw int) *phasePool {
 		order:  make([]int, len(units)),
 	}
 	p.sorter = &costSorter{p: p}
+	if pm != nil {
+		p.pm, p.pmStride = pm, stride
+		pm.EnsureWorkers(nw)
+		p.pmw = make([]*perfmon.Worker, nw)
+		for i := range p.pmw {
+			p.pmw[i] = pm.Worker(i)
+		}
+	}
 	ncomps := 0
 	for i := range units {
 		ncomps += len(units[i].comps)
@@ -135,9 +155,26 @@ func newPhasePool(units []unit, nw int) *phasePool {
 }
 
 // step runs one full cycle (evaluate, barrier, commit, barrier) and returns
-// with every shard committed. Driver-only.
-func (p *phasePool) step(cyc uint64) {
+// with every shard committed. Driver-only. due marks a perfmon-sampled
+// cycle: the kernel computes the predicate from the same generation counter
+// the workers see, so every participant times the same cycles.
+func (p *phasePool) step(cyc uint64, due bool) {
 	if p.inline {
+		if due {
+			w := p.pmw[0]
+			t0 := time.Now()
+			for _, c := range p.inlineAll {
+				c.Evaluate(cyc)
+			}
+			t1 := time.Now()
+			for _, c := range p.inlineAll {
+				c.Commit(cyc)
+			}
+			w.EvalNs.Add(int64(t1.Sub(t0)))
+			w.CommitNs.Add(int64(time.Since(t1)))
+			w.Sampled.Add(1)
+			return
+		}
 		for _, c := range p.inlineAll {
 			c.Evaluate(cyc)
 		}
@@ -161,16 +198,40 @@ func (p *phasePool) step(cyc uint64) {
 	}
 	p.epoch.Store(g)
 	p.wakeOthers(0)
-	p.runCycle(0, g)
-	p.waitCounter(&p.doneN, g*uint64(p.nw), 0)
+	if due {
+		p.runCycleTimed(0, g)
+		t0 := time.Now()
+		park := p.waitCounterPark(&p.doneN, g*uint64(p.nw), 0)
+		w := p.pmw[0]
+		w.SpinNs.Add(int64(time.Since(t0)) - park)
+		w.ParkNs.Add(park)
+	} else {
+		p.runCycle(0, g)
+		p.waitCounter(&p.doneN, g*uint64(p.nw), 0)
+	}
 	if cyc%rebalanceEvery == rebalanceEvery-1 {
 		p.maybeRebalance()
 	}
 }
 
-// workerLoop is the persistent body of participants 1..nw-1.
+// workerLoop is the persistent body of participants 1..nw-1. On sampled
+// generations (the same g%stride predicate the driver uses) the epoch wait
+// and the cycle's phases are timed; all other generations run the untouched
+// hot path.
 func (p *phasePool) workerLoop(self int) {
 	for g := uint64(1); ; g++ {
+		if p.pmStride != 0 && g%p.pmStride == 0 {
+			t0 := time.Now()
+			park := p.waitCounterPark(&p.epoch, g, self)
+			if p.stopped.Load() {
+				return
+			}
+			w := p.pmw[self]
+			w.SpinNs.Add(int64(time.Since(t0)) - park)
+			w.ParkNs.Add(park)
+			p.runCycleTimed(self, g)
+			continue
+		}
 		p.waitCounter(&p.epoch, g, self)
 		if p.stopped.Load() {
 			return
@@ -230,6 +291,77 @@ func (p *phasePool) runCycle(self int, g uint64) {
 	}
 }
 
+// runCycleTimed is runCycle for a perfmon-sampled cycle: identical work with
+// the evaluate phase, the evaluate barrier and the commit phase timed into
+// the participant's monitor slot, and epoch leadership (arriving last at the
+// evaluate barrier and waking the others) counted. Kept as a separate copy
+// so the unsampled hot loop stays branch-free.
+func (p *phasePool) runCycleTimed(self int, g uint64) {
+	cyc := p.cycle
+	target := g * uint64(p.nw)
+	w := p.pmw[self]
+	t0 := time.Now()
+	if p.sample {
+		for _, ui := range p.assign[self] {
+			u := &p.units[ui]
+			if !u.active {
+				continue
+			}
+			s0 := time.Now()
+			for _, c := range u.comps {
+				c.Evaluate(cyc)
+			}
+			u.sampleNs += float64(time.Since(s0))
+		}
+	} else {
+		for _, c := range p.flat[self] {
+			c.Evaluate(cyc)
+		}
+	}
+	w.EvalNs.Add(int64(time.Since(t0)))
+	if p.evalN.Add(1) == target {
+		w.Led.Add(1)
+		// The leader's wake is a futex syscall per parked peer — real
+		// barrier cost, charged to spin so follower accounting still sums
+		// to wall clock.
+		b0 := time.Now()
+		p.wakeOthers(self)
+		w.SpinNs.Add(int64(time.Since(b0)))
+	} else {
+		w.Followed.Add(1)
+		b0 := time.Now()
+		park := p.waitCounterPark(&p.evalN, target, self)
+		w.SpinNs.Add(int64(time.Since(b0)) - park)
+		w.ParkNs.Add(park)
+	}
+	t1 := time.Now()
+	if p.sample {
+		for _, ui := range p.assign[self] {
+			u := &p.units[ui]
+			if !u.active {
+				continue
+			}
+			s0 := time.Now()
+			for _, c := range u.comps {
+				c.Commit(cyc)
+			}
+			u.sampleNs += float64(time.Since(s0))
+			u.sampleCnt++
+		}
+	} else {
+		for _, c := range p.flat[self] {
+			c.Commit(cyc)
+		}
+	}
+	w.CommitNs.Add(int64(time.Since(t1)))
+	w.Sampled.Add(1)
+	if p.doneN.Add(1) == target {
+		b0 := time.Now()
+		p.wakeOthers(self)
+		w.SpinNs.Add(int64(time.Since(b0)))
+	}
+}
+
 // waitCounter blocks participant self until ctr reaches target: a bounded
 // busy-spin, then yield-spins, then a futex-style park. Spurious wakeups
 // (a stale token from an earlier barrier) simply re-enter the loop.
@@ -258,6 +390,42 @@ func (p *phasePool) waitCounter(ctr *atomic.Uint64, target uint64, self int) {
 		<-w.wake
 		if ctr.Load() >= target {
 			return
+		}
+	}
+}
+
+// waitCounterPark is waitCounter with the descheduled portion measured: it
+// returns the total nanoseconds spent blocked on the wake channel, so a
+// sampled barrier wait can be split into spin (busy + yield) and park
+// (futex-sleep) buckets. Token discipline is identical to waitCounter.
+func (p *phasePool) waitCounterPark(ctr *atomic.Uint64, target uint64, self int) int64 {
+	var park int64
+	for n := 0; n < p.fastSpin; n++ {
+		if ctr.Load() >= target {
+			return park
+		}
+	}
+	w := p.parts[self]
+	for {
+		for n := 0; n < p.yieldSpin; n++ {
+			if ctr.Load() >= target {
+				return park
+			}
+			runtime.Gosched()
+		}
+		w.parked.Store(true)
+		if ctr.Load() >= target {
+			if w.parked.CompareAndSwap(true, false) {
+				return park
+			}
+			// A waker claimed us between the store and the CAS; its token
+			// is in flight and must be consumed before the next park.
+		}
+		t0 := time.Now()
+		<-w.wake
+		park += int64(time.Since(t0))
+		if ctr.Load() >= target {
+			return park
 		}
 	}
 }
@@ -322,17 +490,35 @@ func (p *phasePool) maybeRebalance() {
 			maxLoad = l
 		}
 	}
-	if maxLoad <= imbalanceTrigger*(total/float64(p.nw)) {
+	mean := total / float64(p.nw)
+	if maxLoad <= imbalanceTrigger*mean {
 		return
 	}
-	p.repack()
+	moved := p.repack()
+	if p.pm != nil {
+		// p.load holds the freshly-packed per-shard loads; the mean is
+		// unchanged by repacking, so before/after imbalance share the scale.
+		after := 0.0
+		for w := 0; w < p.nw; w++ {
+			if p.load[w] > after {
+				after = p.load[w]
+			}
+		}
+		p.pm.RecordRebalance(perfmon.RebalanceEvent{
+			Cycle:           p.cycle,
+			Migrations:      moved,
+			ImbalanceBefore: maxLoad / mean,
+			ImbalanceAfter:  after / mean,
+		})
+	}
 }
 
 // repack reassigns units to shards longest-processing-time-first: units in
 // descending cost order, each onto the currently lightest shard. Ties break
 // deterministically (stable sort, lowest shard index), though assignment
 // never affects simulation results — phases are isolated by construction.
-func (p *phasePool) repack() {
+// Returns the number of units that changed shard.
+func (p *phasePool) repack() uint64 {
 	for i := range p.order {
 		p.order[i] = i
 	}
@@ -359,8 +545,9 @@ func (p *phasePool) repack() {
 		}
 	}
 	p.rebuildActive()
-	p.rebalances++
-	p.migrations += moved
+	p.rebalances.Add(1)
+	p.migrations.Add(moved)
+	return moved
 }
 
 // rebuildActive refreshes the flat dispatch lists from the currently active

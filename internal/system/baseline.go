@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"scorpio/internal/baseline"
 	"scorpio/internal/coherence"
@@ -242,7 +243,9 @@ func (b *Baseline) Run(limit uint64) (Results, error) {
 	if b.Obs != nil && (b.Obs.Watchdog != nil || b.Obs.Auditor != nil) {
 		done = func() bool { return b.Obs.Stalled() || b.Obs.Violated() || b.Done() }
 	}
+	wall0 := time.Now()
 	finished := b.Kernel.RunUntil(done, limit)
+	b.Obs.finishPerf(b.Kernel, b.opt.Scheme.String()+"/"+b.opt.Profile.Name, int64(time.Since(wall0)))
 	if b.Obs.Violated() {
 		return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
 			b.opt.Scheme, b.opt.Profile.Name, b.Obs.AuditReport())

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"scorpio/internal/coherence"
 	"scorpio/internal/directory"
@@ -247,7 +248,9 @@ func (d *Directory) Run(limit uint64) (Results, error) {
 	if d.Obs != nil && (d.Obs.Watchdog != nil || d.Obs.Auditor != nil) {
 		done = func() bool { return d.Obs.Stalled() || d.Obs.Violated() || d.Done() }
 	}
+	wall0 := time.Now()
 	finished := d.Kernel.RunUntil(done, limit)
+	d.Obs.finishPerf(d.Kernel, d.opt.Variant.String()+"/"+d.opt.Profile.Name, int64(time.Since(wall0)))
 	if d.Obs.Violated() {
 		return Results{}, fmt.Errorf("system: %s/%s audit violation\n%s",
 			d.opt.Variant, d.opt.Profile.Name, d.Obs.AuditReport())

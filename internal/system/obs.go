@@ -4,16 +4,22 @@ import (
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
+	"scorpio/internal/obs/perfmon"
 	"scorpio/internal/sim"
 )
 
 // metricsColumns is the live time-series schema shared by every machine.
 // Counter columns report the delta since the previous sample (rates);
-// buffered_flits and outstanding are occupancy gauges sampled instantly.
+// buffered_flits, outstanding, active_units and wheel_pending are occupancy
+// gauges sampled instantly. The last four columns come from the kernel's
+// activity engine (see internal/obs/perfmon); fast-forward never fires under
+// the sampler (an observer disables it), so its counters live in the
+// RunReport only.
 var metricsColumns = []string{
 	"injected", "ejected", "buffered_flits",
 	"flits_routed", "bypasses", "alloc_stalls",
 	"notif_windows", "outstanding",
+	"active_units", "parks", "wakes", "wheel_pending",
 }
 
 // counters is one machine-wide reading of the cumulative activity counters
@@ -36,6 +42,12 @@ type Observability struct {
 	Watchdog *obs.Watchdog
 	Auditor  *audit.Auditor
 	Attrib   *obs.Attribution
+	// Perf is the engine self-observability monitor attached to the kernel;
+	// PerfReport is its drained RunReport, filled in when the run finishes.
+	Perf       *perfmon.Mon
+	PerfReport *perfmon.Report
+
+	configDigest string
 }
 
 // Stalled reports whether the watchdog detected a stall. Safe on nil.
@@ -80,16 +92,25 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 	if opt == nil || !opt.Enabled() {
 		return nil
 	}
-	o := &Observability{}
+	o := &Observability{configDigest: opt.ConfigDigest}
+	if opt.Perf {
+		o.Perf = perfmon.New()
+		k.SetPerfMon(o.Perf)
+	}
 	if opt.Trace {
 		o.Tracer = obs.NewTracer(opt.TraceCapacity)
 	}
 	if opt.MetricsInterval > 0 {
 		o.Metrics = obs.NewMetrics(opt.MetricsInterval, metricsColumns)
 	}
+	// Hang reports carry the activity engine's census alongside the network
+	// snapshot, so a wedged-while-parked unit names its missing wake edge.
+	snap := func(now uint64) string {
+		return snapshot(now) + k.ActivityReport()
+	}
 	if opt.Audit {
 		o.Auditor = audit.New(nodes, audit.Options{SweepEvery: opt.AuditEvery}, func() string {
-			return snapshot(k.Cycle())
+			return snap(k.Cycle())
 		})
 		o.Attrib = obs.NewAttribution()
 	}
@@ -100,10 +121,17 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 			return c.ejected, inflight()
 		}
 		o.Watchdog = obs.NewWatchdog(opt.Watchdog, progress, func() string {
-			return snapshot(k.Cycle())
+			return snap(k.Cycle())
 		})
 	}
+	if o.Metrics == nil && o.Watchdog == nil && o.Auditor == nil {
+		// Trace-only and perf-only runs need no per-cycle observer — the
+		// tracer's hooks live in the components and perfmon's in the kernel —
+		// so fast-forward over quiescent spans stays available to them.
+		return o
+	}
 	var prev counters
+	var prevAct perfmon.ActivityCounters
 	row := make([]float64, len(metricsColumns))
 	k.SetObserver(func(cycle uint64) {
 		o.Watchdog.Observe(cycle)
@@ -112,6 +140,8 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 			var c counters
 			read(&c)
 			buffered, outstanding := occupancy()
+			act := k.ActivityCounters()
+			activeUnits, _ := k.ActiveUnits()
 			row[0] = float64(c.injected - prev.injected)
 			row[1] = float64(c.ejected - prev.ejected)
 			row[2] = float64(buffered)
@@ -120,11 +150,26 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 			row[5] = float64(c.allocStalls - prev.allocStalls)
 			row[6] = float64(c.notifWindows - prev.notifWindows)
 			row[7] = float64(outstanding)
+			row[8] = float64(activeUnits)
+			row[9] = float64(act.Parks - prevAct.Parks)
+			row[10] = float64(act.TotalWakes() - prevAct.TotalWakes())
+			row[11] = float64(act.WheelPending)
 			o.Metrics.Add(cycle, row)
 			prev = c
+			prevAct = act
 		}
 	})
 	return o
+}
+
+// finishPerf drains the perf monitor into the run's RunReport. label names
+// the run ("SCORPIO/fft"); wallNs is the caller-measured wall time of the
+// run span the report covers. No-op without a monitor.
+func (o *Observability) finishPerf(k *sim.Kernel, label string, wallNs int64) {
+	if o == nil || o.Perf == nil {
+		return
+	}
+	o.PerfReport = k.PerfReport(label, o.configDigest, wallNs)
 }
 
 // finishHeatmap attaches the end-of-run per-router utilization grid

@@ -7,6 +7,7 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"scorpio/internal/coherence"
 	"scorpio/internal/core"
@@ -300,7 +301,9 @@ func (s *Scorpio) Run(limit uint64) (Results, error) {
 	if s.Obs != nil && (s.Obs.Watchdog != nil || s.Obs.Auditor != nil) {
 		done = func() bool { return s.Obs.Stalled() || s.Obs.Violated() || s.Done() }
 	}
+	wall0 := time.Now()
 	finished := s.Kernel.RunUntil(done, limit)
+	s.Obs.finishPerf(s.Kernel, "SCORPIO/"+s.opt.Profile.Name, int64(time.Since(wall0)))
 	if s.Obs.Violated() {
 		return Results{}, fmt.Errorf("system: %s audit violation\n%s", s.opt.Profile.Name, s.Obs.AuditReport())
 	}

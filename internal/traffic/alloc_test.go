@@ -7,6 +7,7 @@ import (
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
+	"scorpio/internal/obs/perfmon"
 	"scorpio/internal/ring"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
@@ -215,6 +216,49 @@ func TestMeshSteadyStateAllocsIdleSkipParallel(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("near-idle parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// TestMeshSteadyStateAllocsPerfmonAttached pins the perf monitor's own cost
+// model: even at stride 1 (every cycle timestamped — the worst case, far
+// denser than the default) a steady-state step never touches the heap. The
+// monitor's slots are preallocated at attach; the hot path only reads the
+// clock and adds into padded atomics.
+func TestMeshSteadyStateAllocsPerfmonAttached(t *testing.T) {
+	k, _ := warmMesh(t)
+	m := perfmon.New()
+	m.Stride = 1
+	k.SetPerfMon(m)
+	k.Run(100) // settle the attach-triggered engine rebuild
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("perfmon-attached warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	if m.Worker(0).Sampled.Load() == 0 {
+		t.Fatal("monitor attached but sampled nothing")
+	}
+}
+
+// TestMeshSteadyStateAllocsPerfmonParallel extends the pin to the phase
+// pool's timed paths: sampled epoch waits and barrier timing must stay
+// allocation-free under 4 workers too.
+func TestMeshSteadyStateAllocsPerfmonParallel(t *testing.T) {
+	k, _ := warmMeshWorkers(t, 4)
+	m := perfmon.New()
+	m.Stride = 1
+	k.SetPerfMon(m)
+	k.Run(100)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("perfmon-attached parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
 	}
 }
 

@@ -15,6 +15,7 @@ package scorpio
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strings"
 
@@ -149,6 +150,33 @@ type Config struct {
 	// AuditEvery sets the auditor's stale-sharer sweep period in cycles
 	// (0 = the auditor's default). Requires Audit.
 	AuditEvery int
+	// PerfReportPath attaches the engine self-observability monitor
+	// (internal/obs/perfmon) and writes its RunReport JSON — per-worker
+	// phase-time decomposition, barrier spin/park split, activity-engine
+	// census, rebalance log, host metadata — to this path after the run.
+	// The report also stays readable in Result.Obs.PerfReport. "-" attaches
+	// the monitor without writing a file.
+	PerfReportPath string
+}
+
+// configDigest fingerprints the simulation-relevant configuration (protocol,
+// workload, topology, knobs — not observability or worker settings, which
+// never change results) so benchdiff can refuse to compare unlike runs.
+func (c *Config) configDigest() string {
+	tri := func(p *bool) string {
+		if p == nil {
+			return "default"
+		}
+		return fmt.Sprint(*p)
+	}
+	canon := fmt.Sprintf("proto=%s bench=%s mesh=%dx%d work=%d warmup=%d out=%d seed=%d expiry=%d scale=%g dir=%d ch=%d goreq=%d uoresp=%d notif=%d bypass=%s pl2=%s nets=%d l1=%v",
+		c.Protocol, c.Benchmark, c.Width, c.Height, c.WorkPerCore, c.WarmupPerCore,
+		c.MaxOutstanding, c.Seed, c.ExpiryWindow, c.IntensityScale, c.DirCacheBytes,
+		c.ChannelBytes, c.GOReqVCs, c.UORespVCs, c.NotifBits, tri(c.Bypass), tri(c.PipelinedL2),
+		c.MainNetworks, c.UseL1)
+	h := fnv.New64a()
+	h.Write([]byte(canon))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // obsOptions assembles the observability options (nil when everything is
@@ -160,9 +188,13 @@ func (c *Config) obsOptions() *obs.Options {
 		Watchdog:        c.WatchdogCycles,
 		Audit:           c.Audit,
 		AuditEvery:      c.AuditEvery,
+		Perf:            c.PerfReportPath != "",
 	}
 	if !o.Enabled() {
 		return nil
+	}
+	if o.Perf {
+		o.ConfigDigest = c.configDigest()
 	}
 	return &o
 }
@@ -180,6 +212,19 @@ func writeObsArtifacts(cfg Config, r Result) error {
 			return err
 		}
 		if err := r.Obs.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if cfg.PerfReportPath != "" && cfg.PerfReportPath != "-" && r.Obs.PerfReport != nil {
+		f, err := os.Create(cfg.PerfReportPath)
+		if err != nil {
+			return err
+		}
+		if err := r.Obs.PerfReport.WriteJSON(f); err != nil {
 			f.Close()
 			return err
 		}
