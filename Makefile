@@ -1,9 +1,11 @@
 GO ?= go
 
 # Bump per PR that re-baselines the benchmark report.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
+# The previous baseline, compared against by benchsmoke when both exist.
+BENCH_PREV ?= BENCH_4.json
 
-.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke perfsmoke
+.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke perfsmoke layoutcheck
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -23,7 +25,13 @@ race:
 	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc ./internal/traffic
 
 # The full local CI gate.
-check: vet test race benchsmoke tracesmoke auditsmoke perfsmoke
+check: vet layoutcheck test race benchsmoke tracesmoke auditsmoke perfsmoke
+
+# The struct-layout gate: pinned sizes for the cache-line-conscious hot
+# structs (Flit, Link, Activity) and fieldalignment-style hole detection
+# over the exported hot structs of noc, sim and stats.
+layoutcheck:
+	$(GO) run ./cmd/layoutcheck
 
 # The allocation-regression harness: the Fig6a end-to-end sweep, the
 # network-only router benchmark, the raw kernel stepping benchmark, the
@@ -57,6 +65,12 @@ benchsmoke:
 	$(GO) test -bench 'BenchmarkKernelThroughputIdle/mesh=6x6' -benchmem -benchtime 1x -run '^$$' ./internal/traffic
 	SCORPIO_SPEEDUP_GUARD=1 $(GO) test -run 'TestParallelSpeedupGuard$$' -v ./internal/system
 	SCORPIO_IDLESKIP_GUARD=1 $(GO) test -run 'TestIdleSkipSpeedupGuard$$' -v ./internal/traffic
+	@if [ -f $(BENCH_PREV) ] && [ -f $(BENCH_JSON) ]; then \
+		echo "benchdiff $(BENCH_PREV) $(BENCH_JSON)"; \
+		$(GO) run ./cmd/benchdiff $(BENCH_PREV) $(BENCH_JSON); \
+	else \
+		echo "benchsmoke: baseline diff skipped ($(BENCH_PREV) or $(BENCH_JSON) absent)"; \
+	fi
 
 # The engine self-observability smoke: a monitored run must emit a valid
 # RunReport; benchdiff must pass a self-compare (exit 0) and catch a

@@ -72,9 +72,6 @@ type Endpoint struct {
 	nextKey  uint64
 	respAsm  []respAsm
 	doneResp ring.Ring[*noc.Packet]
-	// pool recycles the flits this endpoint injects and ejects; only this
-	// endpoint touches it (see noc.FlitPool).
-	pool noc.FlitPool
 
 	// Stats
 	Injected     uint64
@@ -256,7 +253,6 @@ func (e *Endpoint) Evaluate(cycle uint64) {
 	e.now = cycle
 	for _, c := range e.mesh.InjectLink(e.node).Credits(cycle) {
 		e.tr.ProcessCredit(c)
-		e.pool.Put(c.Carcass)
 	}
 	e.receive(cycle)
 	e.deliver(cycle)
@@ -298,7 +294,7 @@ func (e *Endpoint) receive(cycle uint64) {
 	}
 	switch f.Pkt.VNet {
 	case noc.GOReq:
-		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true, Carcass: e.pool.TakeFree()}, cycle)
+		ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: f.InVC(), FreeVC: true}, cycle)
 		if f.Pkt.Kind != KindExpiry {
 			if e.tracer != nil {
 				e.tracer.Record(obs.Event{
@@ -313,7 +309,7 @@ func (e *Endpoint) receive(cycle uint64) {
 			e.reorder.put(f.Pkt.SrcSeq, reorderEntry{pkt: f.Pkt, arrive: cycle})
 		}
 	case noc.UOResp:
-		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: e.pool.TakeFree()}, cycle)
+		ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: f.InVC(), FreeVC: f.IsTail()}, cycle)
 		as := &e.respAsm[f.InVC()]
 		if as.pkt == nil {
 			as.pkt = f.Pkt
@@ -332,9 +328,8 @@ func (e *Endpoint) receive(cycle uint64) {
 			as.flits = 0
 		}
 	}
-	// The packet (if any) is held by the reorder/assembly state; the flit
-	// itself is done.
-	e.pool.Put(f)
+	// The packet (if any) is held by the reorder/assembly state; the link
+	// mailbox flit is consumed within this cycle.
 }
 
 // deliver forwards the next in-order request (skipping expired keys) and
@@ -452,7 +447,7 @@ func (e *Endpoint) inject(cycle uint64) {
 }
 
 func (e *Endpoint) send(p *noc.Packet, seq int, cycle uint64) {
-	e.mesh.InjectLink(e.node).Send(e.pool.Get(p, seq, e.curVC), cycle)
+	e.mesh.InjectLink(e.node).Send(noc.NewFlit(p, seq, e.curVC), cycle)
 }
 
 // HasPendingWork reports whether the endpoint holds any packet that has not

@@ -140,7 +140,7 @@ type meshPort struct {
 	// fixed-capacity. arrivalQ is bounded only by total VC occupancy, so it
 	// stays growable (pre-sized to the total GO-REQ slot count).
 	reqBuf    []ring.Ring[reqEntry]
-	respVCBuf []ring.Ring[*noc.Flit]
+	respVCBuf []ring.Ring[noc.Flit]
 	respBuf   []respAssembly
 	arrivalQ  ring.Ring[int] // unordered mode: VC indexes in arrival order
 }
@@ -152,7 +152,7 @@ func newMeshPort(cfg noc.Config, injectDepth int, mesh *noc.Mesh) *meshPort {
 		reqQ:      ring.New[*noc.Packet](injectDepth),
 		respQ:     ring.New[*noc.Packet](injectDepth),
 		reqBuf:    make([]ring.Ring[reqEntry], cfg.TotalVCs(noc.GOReq)),
-		respVCBuf: make([]ring.Ring[*noc.Flit], cfg.TotalVCs(noc.UOResp)),
+		respVCBuf: make([]ring.Ring[noc.Flit], cfg.TotalVCs(noc.UOResp)),
 		respBuf:   make([]respAssembly, cfg.TotalVCs(noc.UOResp)),
 		arrivalQ:  ring.New[int](cfg.TotalVCs(noc.GOReq) * cfg.GOReqBufDepth),
 	}
@@ -160,7 +160,7 @@ func newMeshPort(cfg noc.Config, injectDepth int, mesh *noc.Mesh) *meshPort {
 		p.reqBuf[i] = ring.NewFixed[reqEntry](cfg.GOReqBufDepth)
 	}
 	for i := range p.respVCBuf {
-		p.respVCBuf[i] = ring.NewFixed[*noc.Flit](cfg.UORespBufDepth)
+		p.respVCBuf[i] = ring.NewFixed[noc.Flit](cfg.UORespBufDepth)
 	}
 	return p
 }
@@ -192,11 +192,6 @@ type NIC struct {
 	reqHold  ring.Ring[reqEntry]    // NIC-internal out-of-order holding buffer
 	doneResp ring.Ring[*noc.Packet] // assembled responses awaiting the agent
 	loopback ring.Ring[*noc.Packet] // own broadcast requests awaiting own global order
-	// pool recycles the flits this NIC injects and ejects; only this NIC
-	// touches it, so it is race-free under the parallel kernel (see
-	// noc.FlitPool).
-	pool noc.FlitPool
-
 	// Global-order state.
 	trackerQ ring.Ring[notif.Vector]
 	// vecFree recycles the word buffers of consumed tracker vectors so
@@ -372,7 +367,6 @@ func (n *NIC) Evaluate(cycle uint64) {
 	for _, port := range n.ports {
 		for _, c := range port.mesh.InjectLink(n.node).Credits(cycle) {
 			port.tr.ProcessCredit(c)
-			n.pool.Put(c.Carcass)
 		}
 	}
 	if n.cfg.Ordered {
@@ -569,14 +563,15 @@ func (n *NIC) receive(cycle uint64) {
 				if n.auditor != nil {
 					n.auditor.Arrive(n.node, f.Pkt.ID, f.Pkt.Src)
 				}
+				// The entry carries the packet; the link mailbox flit is done.
 				port.reqBuf[vc].Push(reqEntry{pkt: f.Pkt, arrive: cycle})
 				if !n.cfg.Ordered {
 					port.arrivalQ.Push(vc)
 				}
-				// The entry carries the packet; the flit itself is done.
-				n.pool.Put(f)
 			case noc.UOResp:
-				port.respVCBuf[f.InVC()].Push(f)
+				// Copy the flit value out of the link mailbox: the slot is
+				// rewritten next cycle, but assembly may drain this VC later.
+				port.respVCBuf[f.InVC()].Push(*f)
 			}
 		}
 		// Drain ordered requests from the VC slots into the NIC holding
@@ -586,7 +581,7 @@ func (n *NIC) receive(cycle uint64) {
 			for vc := range port.reqBuf {
 				if !port.reqBuf[vc].Empty() && n.reqHold.Len() < n.cfg.ReqBufDepth {
 					n.reqHold.Push(port.reqBuf[vc].PopFront())
-					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
+					ej.SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true}, cycle)
 				}
 			}
 		}
@@ -599,7 +594,7 @@ func (n *NIC) receive(cycle uint64) {
 				continue
 			}
 			f := port.respVCBuf[vc].PopFront()
-			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()}, cycle)
+			ej.SendCredit(noc.Credit{VNet: noc.UOResp, VC: vc, FreeVC: f.IsTail()}, cycle)
 			as := &port.respBuf[vc]
 			if as.pkt == nil {
 				as.pkt = f.Pkt
@@ -621,8 +616,6 @@ func (n *NIC) receive(cycle uint64) {
 				as.pkt = nil
 				as.flits = 0
 			}
-			// The assembly registers only count flits; the flit is done.
-			n.pool.Put(f)
 		}
 	}
 }
@@ -650,7 +643,7 @@ func (n *NIC) deliver(cycle uint64) {
 			if n.agent.AcceptOrderedRequest(e.pkt, e.arrive, cycle) {
 				port.arrivalQ.PopFront()
 				port.reqBuf[vc].PopFront()
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true}, cycle)
 				n.Stats.DeliveredRequests++
 				if n.tracer != nil {
 					n.tracer.Record(obs.Event{
@@ -774,7 +767,7 @@ func (n *NIC) consumeExpected(sid int, cycle uint64) {
 			buf := &port.reqBuf[vc]
 			if !buf.Empty() && buf.Front().pkt.SID == sid && buf.Front().pkt.SrcSeq == seq {
 				buf.PopFront()
-				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true, Carcass: n.pool.TakeFree()}, cycle)
+				port.mesh.EjectLink(n.node).SendCredit(noc.Credit{VNet: noc.GOReq, VC: vc, FreeVC: true}, cycle)
 				return
 			}
 		}
@@ -831,7 +824,7 @@ func (n *NIC) startInjection(port *meshPort, v noc.VNet, cycle uint64) bool {
 			Port: -1, VNet: int8(v), VC: int16(vc),
 		})
 	}
-	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, 0, vc), cycle)
+	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, 0, vc), cycle)
 	if p.Flits == 1 {
 		n.finishInjection(port, v)
 	} else {
@@ -848,7 +841,7 @@ func (n *NIC) continueInjection(port *meshPort, cycle uint64) {
 		return
 	}
 	port.tr.ChargeBody(p.VNet, port.curVC)
-	port.mesh.InjectLink(n.node).Send(n.pool.Get(p, port.nextSeq, port.curVC), cycle)
+	port.mesh.InjectLink(n.node).Send(noc.NewFlit(p, port.nextSeq, port.curVC), cycle)
 	port.nextSeq++
 	if port.nextSeq == p.Flits {
 		port.inFlight = nil

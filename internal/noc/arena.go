@@ -1,0 +1,102 @@
+package noc
+
+// Arena is a fixed-capacity slab allocator for the flits a router buffers.
+// It replaces the old per-component free-list pools (FlitPool) of
+// heap-allocated *Flit nodes: the slab is one flat []Flit, handles are int32
+// indexes into it, and the router's input VC queues store handles, so a
+// router cycle walks one contiguous allocation instead of chasing scattered
+// heap nodes.
+//
+// Sizing rule: a flit occupies its owning router's arena exactly while it
+// sits in an input VC buffer — links latch flit values, credits carry
+// nothing, and switch traversal copies the flit value onto the output link.
+// Router-resident flits are therefore bounded by the total input buffering,
+// so the arena is sized at construction to
+//
+//	NumPorts × Σ_vnet TotalVCs(vnet) × BufDepthFor(vnet)
+//
+// (the uniform per-port stride keeps flat indexing simple; edge routers
+// leave their absent ports' share unused). The capacity is exact by the
+// credit protocol: Alloc on a full arena panics, because it can only mean a
+// flit was accepted without a buffer slot — a protocol violation, never a
+// sizing problem. Fixed capacity is also what keeps the steady-state hot
+// path at 0 allocs/step from the very first cycle: there is no growth path
+// to warm up (see TestMeshSteadyStateAllocs).
+//
+// Each arena belongs to exactly one router and is only touched inside that
+// router's Evaluate, so it is race-free under the parallel kernel, and its
+// alloc/free sequence is a pure function of the router's deterministic event
+// stream — handle values are bit-identical across worker counts and
+// idle-skip modes (see StateDigest and the handle-determinism tests).
+type Arena struct {
+	slab []Flit
+	free []int32 // LIFO free list of slab indexes
+}
+
+// NewArena returns an arena of exactly n flit slots, all free. The free list
+// is seeded in descending index order so the first Alloc returns handle 0.
+func NewArena(n int) Arena {
+	a := Arena{slab: make([]Flit, n), free: make([]int32, n)}
+	for i := range a.free {
+		a.free[i] = int32(n - 1 - i)
+	}
+	return a
+}
+
+// Alloc takes a free slot and returns its handle. The slot is zeroed (Free
+// zeroes on release and the slab starts zeroed), so the caller sees the same
+// state a fresh allocation would have. Panics when the arena is exhausted —
+// by the sizing rule that can only be a credit-protocol violation.
+func (a *Arena) Alloc() int32 {
+	n := len(a.free)
+	if n == 0 {
+		panic("noc: flit arena exhausted — credit protocol violated")
+	}
+	h := a.free[n-1]
+	a.free = a.free[:n-1]
+	return h
+}
+
+// At returns the flit slot for a handle. The pointer is stable for the
+// arena's life (the slab never grows) but the slot's contents are only valid
+// between the Alloc that returned the handle and its Free.
+func (a *Arena) At(h int32) *Flit { return &a.slab[h] }
+
+// Free zeroes the slot and returns the handle to the free list, so no packet
+// state can leak into a later reuse.
+func (a *Arena) Free(h int32) {
+	a.slab[h] = Flit{}
+	a.free = append(a.free, h)
+}
+
+// Live reports the number of handles currently allocated — the leak
+// invariant: after a run drains, Live must match the router's buffered-flit
+// count (zero on an empty router).
+func (a *Arena) Live() int { return len(a.slab) - len(a.free) }
+
+// Cap reports the arena's fixed capacity.
+func (a *Arena) Cap() int { return len(a.slab) }
+
+// StateDigest folds the free-list order and length into an FNV-1a hash. Two
+// runs that performed the same alloc/free sequence have equal digests, so
+// tests can assert handle-level determinism across worker counts and
+// idle-skip modes without recording every allocation.
+func (a *Arena) StateDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(a.free)))
+	for _, f := range a.free {
+		mix(uint64(uint32(f)))
+	}
+	return h
+}

@@ -6,22 +6,15 @@ import "scorpio/internal/sim"
 // freed one slot of the given virtual channel, and, when FreeVC is set, the
 // tail flit departed so the VC itself may be reallocated to a new packet.
 //
-// Carcass optionally carries a consumed flit object back to the sender for
-// recycling. Without it, flit pools drift: a broadcast forks in-network
-// (flits created in router pools) but every copy is destroyed at a NIC, so
-// router pools run a permanent deficit while NIC pools accumulate surplus.
-// Riding the credit path fixes the imbalance exactly — every flit a
-// component sends produces exactly one downstream credit, so returns match
-// draws one-for-one and each pool's deficit is bounded by its in-flight
-// inventory. The receiver owns the carcass once the credit is latched and
-// releases it into its own pool via FlitPool.Put (which zeroes it); a nil
-// carcass (consumer's pool momentarily empty) is harmless — the balance is
-// restored by a later credit.
+// Credits used to carry a "carcass" — a consumed *Flit riding back upstream
+// to rebalance the sender's free-list pool. The arena/value model (see Arena)
+// removed the need: flits cross links by value and buffered flits live in
+// the receiving router's own slab, so there is no cross-component object
+// flow to balance and a credit is pure flow-control state again.
 type Credit struct {
-	VNet    VNet
-	VC      int
-	FreeVC  bool
-	Carcass *Flit
+	VNet   VNet
+	VC     int
+	FreeVC bool
 }
 
 // noStamp marks an unwritten link slot (cycle numbers start at 0).
@@ -38,12 +31,24 @@ const noStamp = ^uint64(0)
 // being read, giving exactly the latch-one-cycle semantics the old
 // component-based link provided, at zero per-cycle cost for quiet links.
 //
+// Flits cross the link by value: Send copies the 32-byte flit into the
+// mailbox slot and Flit returns a pointer into that slot. The pointer is
+// valid only during the reading cycle's evaluate phase — the slot is next
+// overwritten at cycle+1, after the epoch barrier — so a consumer that keeps
+// a flit across cycles must copy the value out (router input buffers copy
+// into their arena; the NIC's response reassembly rings hold values).
+//
 // Links are also the activity engine's wake edges: a flit write wakes the
 // downstream reader's scheduling unit for the arrival cycle, a credit write
 // wakes the upstream reader's. Readers that never park may leave the wake
 // hooks nil.
+//
+// The struct is padded to a multiple of the cache-line size: adjacent links
+// in the mesh belong to different shards under the parallel kernel, and the
+// padding keeps one shard's mailbox writes from invalidating a neighbour
+// shard's line (false sharing).
 type Link struct {
-	buf    [2]*Flit
+	buf    [2]Flit
 	stamp  [2]uint64
 	cred   [2][]Credit
 	cstamp [2]uint64
@@ -52,6 +57,8 @@ type Link struct {
 	// upstream (credit-reading) unit's. Nil-safe.
 	flitWake *sim.Activity
 	credWake *sim.Activity
+
+	_ [32]byte // pad 160 → 192 bytes (3 cache lines)
 }
 
 // NewLink returns an idle link. The credit slices are presized to the
@@ -77,7 +84,7 @@ func (l *Link) SetCreditWake(a *sim.Activity) { l.credWake = a }
 
 // Send places a flit on the link during cycle's evaluate phase; it arrives
 // downstream next cycle. At most one flit may be sent per cycle.
-func (l *Link) Send(f *Flit, cycle uint64) {
+func (l *Link) Send(f Flit, cycle uint64) {
 	s := cycle & 1
 	if l.stamp[s] == cycle {
 		panic("noc: two flits sent on one link in the same cycle")
@@ -87,13 +94,15 @@ func (l *Link) Send(f *Flit, cycle uint64) {
 	l.flitWake.Wake(cycle+1, sim.WakeFlit)
 }
 
-// Flit returns the flit that arrived this cycle, or nil.
+// Flit returns the flit that arrived this cycle, or nil. The pointer aliases
+// the mailbox slot and is valid only for the current cycle's evaluate phase;
+// copy the value to keep it longer.
 func (l *Link) Flit(cycle uint64) *Flit {
 	if cycle == 0 {
 		return nil
 	}
 	if s := (cycle - 1) & 1; l.stamp[s] == cycle-1 {
-		return l.buf[s]
+		return &l.buf[s]
 	}
 	return nil
 }

@@ -47,7 +47,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		m.inject[id] = newLink()
 		m.eject[id] = newLink()
 		r.attach(Local, m.inject[id], m.eject[id])
-		r.out[Local].downstream = id
+		r.downstream[Local] = int32(id)
 	}
 	// Mesh channels: one link per direction per neighbour pair.
 	for id, r := range m.routers {
@@ -57,28 +57,28 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			ab, ba := newLink(), newLink()
 			r.attach(East, ba, ab)
 			e.attach(West, ab, ba)
-			r.out[East].downstream = e.id
-			e.out[West].downstream = r.id
+			r.downstream[East] = int32(e.id)
+			e.downstream[West] = int32(r.id)
 		}
 		if y+1 < cfg.Height {
 			s := m.routers[cfg.NodeAt(x, y+1)]
 			ab, ba := newLink(), newLink()
 			r.attach(South, ba, ab)
 			s.attach(North, ab, ba)
-			r.out[South].downstream = s.id
-			s.out[North].downstream = r.id
+			r.downstream[South] = int32(s.id)
+			s.downstream[North] = int32(r.id)
 		}
 	}
 	// Broadcast-tree coverage per output port, for reserved-VC eligibility.
 	for _, r := range m.routers {
 		for p := Port(0); p < NumPorts; p++ {
-			if r.out[p] == nil {
+			if r.outLink[p] == nil {
 				continue
 			}
 			if p == Local {
-				r.out[p].coverage = []int{r.id}
+				r.coverage[p] = []int{r.id}
 			} else {
-				r.out[p].coverage = m.coverageFrom(r.out[p].downstream, p.opposite())
+				r.coverage[p] = m.coverageFrom(int(r.downstream[p]), p.opposite())
 			}
 		}
 	}
@@ -98,7 +98,7 @@ func (m *Mesh) coverageFrom(s int, entry Port) []int {
 		if mask&portMask(p) == 0 {
 			continue
 		}
-		out = append(out, m.coverageFrom(r.out[p].downstream, p.opposite())...)
+		out = append(out, m.coverageFrom(int(r.downstream[p]), p.opposite())...)
 	}
 	return out
 }
@@ -123,16 +123,20 @@ func (m *Mesh) Config() Config { return m.cfg }
 
 // Register adds every router to the kernel and wires the links' wake edges:
 // each link's readers are woken by writes so routers can park when quiescent.
-// Links themselves are passive mailboxes, not components (see Link).
+// Links themselves are passive mailboxes, not components (see Link). Each
+// router's scheduling unit is tagged with its node ID as the topology tile
+// so the kernel's sharder can seed spatially contiguous shards (see
+// sim.Activity.SetTile).
 func (m *Mesh) Register(k *sim.Kernel) {
 	for _, r := range m.routers {
 		a := k.Register(r)
+		a.SetTile(r.id)
 		for p := Port(0); p < NumPorts; p++ {
-			if iu := r.in[p]; iu != nil {
-				iu.link.SetFlitWake(a)
+			if il := r.inLink[p]; il != nil {
+				il.SetFlitWake(a)
 			}
-			if ou := r.out[p]; ou != nil {
-				ou.link.SetCreditWake(a)
+			if ol := r.outLink[p]; ol != nil {
+				ol.SetCreditWake(a)
 			}
 		}
 	}
@@ -155,13 +159,34 @@ func (m *Mesh) EjectLink(node int) *Link { return m.eject[node] }
 // Router returns the router at the given node (for stats and tests).
 func (m *Mesh) Router(node int) *Router { return m.routers[node] }
 
-// PrimeFlitPools pre-fills every router's flit pool with n flits each (see
-// FlitPool.Prime). Harnesses that assert zero steady-state allocation call it
-// once before measuring.
-func (m *Mesh) PrimeFlitPools(n int) {
+// ArenaDigest folds every router's arena free-list digest into one value
+// (FNV-1a over the per-router digests, in node order). Two runs that
+// performed identical per-router alloc/free sequences — the handle-level
+// determinism property — have equal digests regardless of worker count or
+// idle-skip mode.
+func (m *Mesh) ArenaDigest() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
 	for _, r := range m.routers {
-		r.pool.Prime(n)
+		d := r.arena.StateDigest()
+		for i := 0; i < 8; i++ {
+			h ^= d & 0xff
+			h *= prime64
+			d >>= 8
+		}
 	}
+	return h
+}
+
+// ArenaLive sums the live (allocated, not yet freed) arena handles across
+// all routers — the mesh-wide leak gauge: it must equal BufferedFlits at all
+// times, and zero once the network drains.
+func (m *Mesh) ArenaLive() int {
+	n := 0
+	for _, r := range m.routers {
+		n += r.arena.Live()
+	}
+	return n
 }
 
 // NextPacketID issues a unique packet ID.
@@ -292,25 +317,30 @@ func (m *Mesh) Stats() RouterStats {
 func (m *Mesh) CheckInvariants() error {
 	for _, r := range m.routers {
 		for p := Port(0); p < NumPorts; p++ {
-			iu := r.in[p]
-			if iu == nil {
+			if r.inLink[p] == nil {
 				continue
 			}
 			for v := VNet(0); v < NumVNets; v++ {
-				for i, vc := range iu.vcs[v] {
-					if vc.q.Len() > m.cfg.BufDepthFor(v) {
-						return fmt.Errorf("router %d port %s %s vc %d holds %d flits (cap %d)", r.id, p, v, i, vc.q.Len(), m.cfg.BufDepthFor(v))
+				for i := 0; i < m.cfg.TotalVCs(v); i++ {
+					fv := r.flatVC(p, v, i)
+					if int(r.qlen[fv]) > m.cfg.BufDepthFor(v) {
+						return fmt.Errorf("router %d port %s %s vc %d holds %d flits (cap %d)", r.id, p, v, i, r.qlen[fv], m.cfg.BufDepthFor(v))
 					}
 				}
 			}
-			ou := r.out[p]
+			tr, _ := r.OutputState(p)
 			for v := VNet(0); v < NumVNets; v++ {
 				for i := 0; i < m.cfg.TotalVCs(v); i++ {
-					if c := ou.tr.Credits(v, i); c < 0 || c > m.cfg.BufDepthFor(v) {
+					if c := tr.Credits(v, i); c < 0 || c > m.cfg.BufDepthFor(v) {
 						return fmt.Errorf("router %d port %s %s vc %d credit %d out of range", r.id, p, v, i, c)
 					}
 				}
 			}
+		}
+		// Arena leak invariant: a handle is live exactly while its flit sits
+		// in an input VC ring.
+		if live := r.arena.Live(); live != r.buffered {
+			return fmt.Errorf("router %d arena holds %d live handles but %d flits buffered (leak)", r.id, live, r.buffered)
 		}
 	}
 	return nil

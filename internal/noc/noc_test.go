@@ -44,7 +44,7 @@ func (e *testEndpoint) Evaluate(cycle uint64) {
 	ej := e.mesh.EjectLink(e.node)
 	if f := ej.Flit(cycle); f != nil {
 		e.arrivals[f.Pkt.ID]++
-		ej.SendCredit(Credit{VNet: f.Pkt.VNet, VC: f.inVC, FreeVC: f.IsTail()}, cycle)
+		ej.SendCredit(Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail()}, cycle)
 		if f.IsTail() {
 			f.Pkt.ArriveCycle = cycle
 			e.Received = append(e.Received, f.Pkt)
@@ -72,7 +72,7 @@ func (e *testEndpoint) Evaluate(cycle uint64) {
 	} else {
 		e.tr.ChargeBody(p.VNet, e.curVC)
 	}
-	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC}, cycle)
+	inj.Send(NewFlit(p, e.nextSeq, e.curVC), cycle)
 	e.nextSeq++
 	if e.nextSeq == p.Flits {
 		e.inFlight = nil
@@ -244,15 +244,16 @@ func TestCreditsRestoredAfterDrain(t *testing.T) {
 	for node := 0; node < cfg.Nodes(); node++ {
 		r := m.Router(node)
 		for p := Port(0); p < NumPorts; p++ {
-			if r.out[p] == nil {
+			tr, ok := r.OutputState(p)
+			if !ok {
 				continue
 			}
 			for v := VNet(0); v < NumVNets; v++ {
 				for i := 0; i < cfg.TotalVCs(v); i++ {
-					if got := r.out[p].tr.Credits(v, i); got != cfg.BufDepthFor(v) {
+					if got := tr.Credits(v, i); got != cfg.BufDepthFor(v) {
 						t.Fatalf("router %d port %s %s vc%d: credits %d after drain, want %d", node, p, v, i, got, cfg.BufDepthFor(v))
 					}
-					if r.out[p].tr.Busy(v, i) {
+					if tr.Busy(v, i) {
 						t.Fatalf("router %d port %s %s vc%d still busy after drain", node, p, v, i)
 					}
 				}
@@ -433,10 +434,10 @@ func TestBroadcastCoverageProperty(t *testing.T) {
 		covered := map[int]int{}
 		r := m.routers[src]
 		for p := Port(North); p < NumPorts; p++ {
-			if r.out[p] == nil {
+			if r.outLink[p] == nil {
 				continue
 			}
-			for _, n := range r.out[p].coverage {
+			for _, n := range r.coverage[p] {
 				covered[n]++
 			}
 		}

@@ -52,7 +52,13 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("pkt#%d %s %d->%s kind=%d addr=%#x flits=%d", p.ID, p.VNet, p.Src, dst, p.Kind, p.Addr, p.Flits)
 }
 
-// Flit is one link-level transfer unit of a packet.
+// Flit is one link-level transfer unit of a packet. It is a small value type
+// — 32 bytes, two per cache line — moved by copy: links latch flit values in
+// their mailboxes and router input buffers hold flits in a per-router Arena
+// slab addressed by int32 handles, so the datapath walks contiguous memory
+// instead of a heap object graph (see DESIGN.md §7). The packed field types
+// (int16 VC, int8 port) are private and never overflow: VC counts and port
+// numbers are single digits by construction.
 type Flit struct {
 	Pkt *Packet
 	// Seq is the flit's index within the packet (0 = head).
@@ -60,6 +66,8 @@ type Flit struct {
 	// arrival is the cycle the flit was written into the current input
 	// buffer; the router pipeline latency is measured from it.
 	arrival uint64
+	// inVC is the downstream input VC assigned by the sender's VC selection.
+	inVC int16
 	// outPorts is the set of output ports this flit still has to traverse at
 	// the current router (multicast forking leaves the flit in place until
 	// every branch has been served). Encoded as a bitmask over Port values.
@@ -67,22 +75,20 @@ type Flit struct {
 	// bypassCandidate marks a flit that arrived this cycle with an empty
 	// queue ahead of it, i.e. its lookahead may claim the switch directly.
 	bypassCandidate bool
-	// inVC is the downstream input VC assigned by the sender's VC selection.
-	inVC int
 	// lastPort/lastDstVC record the most recent traversal so the input VC can
 	// latch wormhole state when the head flit departs.
-	lastPort  Port
-	lastDstVC int
+	lastPort  int8
+	lastDstVC int8
 }
 
-// NewFlit constructs a flit assigned to downstream input VC vc; network
+// NewFlit constructs a flit value assigned to downstream input VC vc; network
 // interface controllers use it to serialize packets into the mesh.
-func NewFlit(p *Packet, seq, vc int) *Flit {
-	return &Flit{Pkt: p, Seq: seq, inVC: vc}
+func NewFlit(p *Packet, seq, vc int) Flit {
+	return Flit{Pkt: p, Seq: seq, inVC: int16(vc)}
 }
 
 // InVC returns the input virtual channel the sender assigned to the flit.
-func (f *Flit) InVC() int { return f.inVC }
+func (f *Flit) InVC() int { return int(f.inVC) }
 
 // Arrival returns the cycle the flit was written into its current input
 // buffer (diagnostics: watchdog snapshots report how long a flit has been

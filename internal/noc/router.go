@@ -5,7 +5,6 @@ import (
 
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
-	"scorpio/internal/ring"
 )
 
 // RouterStats counts router activity for the power model and tests.
@@ -19,53 +18,13 @@ type RouterStats struct {
 	AllocStalls   uint64 // cycles a head flit lost allocation or lacked a VC/credit
 }
 
-// vcState is one input virtual channel: its flit queue and, for multi-flit
-// packets, the route and downstream VC allocated by the head flit. The queue
-// is a fixed-capacity ring sized by the configured buffer depth: the credit
-// protocol guarantees the depth is never exceeded, so an overflow stays a
-// panic (inside ring.Push) rather than a silent reallocation.
-type vcState struct {
-	q       ring.Ring[*Flit]
-	outPort Port
-	outVC   int
-	active  bool
-}
-
-// inputUnit is one router input port: the incoming link and its VC buffers.
-type inputUnit struct {
-	link *Link
-	vcs  [NumVNets][]*vcState
-}
-
-func newInputUnit(cfg Config, link *Link) *inputUnit {
-	iu := &inputUnit{link: link}
-	for v := VNet(0); v < NumVNets; v++ {
-		n := cfg.TotalVCs(v)
-		iu.vcs[v] = make([]*vcState, n)
-		for i := 0; i < n; i++ {
-			iu.vcs[v][i] = &vcState{q: ring.NewFixed[*Flit](cfg.BufDepthFor(v))}
-		}
-	}
-	return iu
-}
-
-// outputUnit is one router output port: the outgoing link, the credit/VC/SID
-// book-keeping for the downstream input port, the downstream node ID, and the
-// set of nodes a broadcast branch through this port still delivers to (used
-// for reserved-VC eligibility checks).
-type outputUnit struct {
-	link       *Link
-	tr         *OutputTracker
-	downstream int
-	coverage   []int
-}
-
 // grant describes one (input flit → output port) crossbar traversal decided
 // by switch allocation in the current cycle.
 type grant struct {
 	in     Port
 	vnet   VNet
 	vcIdx  int
+	fv     int // flat VC index of the input VC
 	flit   *Flit
 	out    Port
 	dstVC  int
@@ -73,25 +32,63 @@ type grant struct {
 }
 
 // Router is one three-stage (single-stage with bypassing) mesh router.
+//
+// Its state is laid out structure-of-arrays: instead of per-port
+// inputUnit/outputUnit objects holding per-VC objects, every per-VC quantity
+// lives in one flat slice indexed by the flat VC number
+//
+//	fv = int(port)*vcsPerPort + idx
+//
+// where idx enumerates GO-REQ VCs first (including the reserved VC) and then
+// UO-RESP VCs — the same order the SA-I round-robin already walked. Buffered
+// flits live in the router's Arena slab and the VC queues are rings of int32
+// handles packed in one shared backing array (qbuf), so a full router cycle
+// touches a handful of contiguous allocations instead of ~50 heap objects.
 type Router struct {
-	cfg    Config
-	id     int
-	x, y   int
-	esid   func(node int) (int, uint64, bool)
-	in     [NumPorts]*inputUnit
-	out    [NumPorts]*outputUnit
+	cfg  Config
+	id   int
+	x, y int
+	esid func(node int) (int, uint64, bool)
+
+	// Per-port links; nil marks an absent port (mesh edges). downstream and
+	// coverage describe the neighbour behind each output port.
+	inLink     [NumPorts]*Link
+	outLink    [NumPorts]*Link
+	downstream [NumPorts]int32
+	coverage   [NumPorts][]int
+
+	// vcsPerPort is the flat per-port VC count; splitVC the number of GO-REQ
+	// VCs (flat indexes below it are GO-REQ, at or above it UO-RESP).
+	vcsPerPort int
+	splitVC    int
+
+	// Input VC queues: per flat VC a fixed ring of arena handles occupying
+	// qbuf[qoff : qoff+qcap]. qhead is the ring read position, qlen the
+	// occupancy. The credit protocol guarantees qcap is never exceeded, so an
+	// overflow stays a panic rather than a silent reallocation.
+	qbuf  []int32
+	qoff  []int32
+	qcap  []int32
+	qhead []int32
+	qlen  []int32
+	// Wormhole route latched by a departing head flit for its body flits.
+	vcOutPort []int8
+	vcOutVC   []int8
+
+	// trk is the flattened per-output-port credit/VC/SID book-keeping (the
+	// SoA replacement for five per-port OutputTracker objects).
+	trk trackerTable
+
+	// arena holds every flit buffered in the input VCs (see Arena).
+	arena Arena
+
 	saPtr  [NumPorts]int // SA-O round-robin pointer per output port
 	saiPtr [NumPorts]int // SA-I round-robin pointer per input port
 	// candBuf holds each input port's SA-I winner for the current cycle,
 	// reused across cycles to keep the allocation hot path allocation-free.
 	candBuf [NumPorts]candidate
-	// pool recycles flits: switch traversal draws clones from it and
-	// fully-serviced buffered flits are released back in dequeue. Only this
-	// router touches its pool, so pooling is race-free under the parallel
-	// kernel (see FlitPool).
-	pool  FlitPool
-	Stats RouterStats
-	now   uint64
+	Stats   RouterStats
+	now     uint64
 	// buffered counts flits currently held in the input VCs — the router's
 	// idle predicate and the mesh-wide occupancy gauge (Mesh.BufferedFlits),
 	// maintained incrementally so watchdog polls never rescan the VC rings.
@@ -109,10 +106,76 @@ func (r *Router) SetTracer(t *obs.Tracer) { r.tracer = t }
 // SetAuditor attaches the online auditor (nil disables auditing).
 func (r *Router) SetAuditor(a *audit.Auditor) { r.auditor = a }
 
-// newRouter builds a router; links are attached by the mesh.
+// newRouter builds a router with its full SoA tables and arena sized up
+// front (uniformly for NumPorts ports — absent edge ports leave their share
+// unused but keep the flat indexing stride-regular); links are attached by
+// the mesh.
 func newRouter(cfg Config, id int, esid func(node int) (int, uint64, bool)) *Router {
 	x, y := cfg.Coord(id)
-	return &Router{cfg: cfg, id: id, x: x, y: y, esid: esid}
+	r := &Router{cfg: cfg, id: id, x: x, y: y, esid: esid}
+	r.vcsPerPort = cfg.TotalVCs(GOReq) + cfg.TotalVCs(UOResp)
+	r.splitVC = cfg.TotalVCs(GOReq)
+	n := int(NumPorts) * r.vcsPerPort
+	r.qoff = make([]int32, n)
+	r.qcap = make([]int32, n)
+	r.qhead = make([]int32, n)
+	r.qlen = make([]int32, n)
+	r.vcOutPort = make([]int8, n)
+	r.vcOutVC = make([]int8, n)
+	total := 0
+	for fv := 0; fv < n; fv++ {
+		depth := cfg.BufDepthFor(r.vnetOf(fv % r.vcsPerPort))
+		r.qoff[fv] = int32(total)
+		r.qcap[fv] = int32(depth)
+		total += depth
+	}
+	r.qbuf = make([]int32, total)
+	r.arena = NewArena(total)
+	r.trk = newTrackerTable(cfg)
+	return r
+}
+
+// vnetOf maps a per-port flat VC index to its virtual network.
+func (r *Router) vnetOf(idx int) VNet {
+	if idx < r.splitVC {
+		return GOReq
+	}
+	return UOResp
+}
+
+// flatVC returns the flat VC index for (port, vnet, vc).
+func (r *Router) flatVC(p Port, v VNet, vc int) int {
+	fv := int(p)*r.vcsPerPort + vc
+	if v == UOResp {
+		fv += r.splitVC
+	}
+	return fv
+}
+
+// qFront returns the handle at the head of a VC queue (qlen must be > 0).
+func (r *Router) qFront(fv int) int32 {
+	return r.qbuf[r.qoff[fv]+r.qhead[fv]]
+}
+
+// qPush appends a handle to a VC queue.
+func (r *Router) qPush(fv int, h int32) {
+	pos := r.qhead[fv] + r.qlen[fv]
+	if pos >= r.qcap[fv] {
+		pos -= r.qcap[fv]
+	}
+	r.qbuf[r.qoff[fv]+pos] = h
+	r.qlen[fv]++
+}
+
+// qPop removes and returns the head handle of a VC queue.
+func (r *Router) qPop(fv int) int32 {
+	h := r.qbuf[r.qoff[fv]+r.qhead[fv]]
+	r.qhead[fv]++
+	if r.qhead[fv] == r.qcap[fv] {
+		r.qhead[fv] = 0
+	}
+	r.qlen[fv]--
+	return h
 }
 
 // ID returns the router's node ID.
@@ -120,30 +183,30 @@ func (r *Router) ID() int { return r.id }
 
 // attach wires an input and output link pair for one port.
 func (r *Router) attach(p Port, in, out *Link) {
-	r.in[p] = newInputUnit(r.cfg, in)
-	r.out[p] = &outputUnit{link: out, tr: NewOutputTracker(r.cfg)}
+	r.inLink[p] = in
+	r.outLink[p] = out
 }
 
 // Evaluate runs one cycle of the router: credit processing, buffer write of
 // arriving flits, switch allocation, and switch traversal.
 func (r *Router) Evaluate(cycle uint64) {
 	r.now = cycle
-	for _, ou := range r.out {
-		if ou == nil {
+	for p := Port(0); p < NumPorts; p++ {
+		ol := r.outLink[p]
+		if ol == nil {
 			continue
 		}
-		for _, c := range ou.link.Credits(cycle) {
-			ou.tr.ProcessCredit(c)
-			r.pool.Put(c.Carcass)
+		for _, c := range ol.Credits(cycle) {
+			r.trk.processCredit(p, c)
 		}
 	}
 	for p := Port(0); p < NumPorts; p++ {
-		iu := r.in[p]
-		if iu == nil {
+		il := r.inLink[p]
+		if il == nil {
 			continue
 		}
-		if f := iu.link.Flit(cycle); f != nil {
-			r.acceptFlit(p, iu, f)
+		if f := il.Flit(cycle); f != nil {
+			r.acceptFlit(p, f)
 		}
 	}
 	r.allocate()
@@ -162,10 +225,10 @@ func (r *Router) Idle() bool {
 		return false
 	}
 	for p := Port(0); p < NumPorts; p++ {
-		if iu := r.in[p]; iu != nil && iu.link.FlitPendingAt(r.now) {
+		if il := r.inLink[p]; il != nil && il.FlitPendingAt(r.now) {
 			return false
 		}
-		if ou := r.out[p]; ou != nil && ou.link.CreditsPendingAt(r.now) {
+		if ol := r.outLink[p]; ol != nil && ol.CreditsPendingAt(r.now) {
 			return false
 		}
 	}
@@ -173,34 +236,38 @@ func (r *Router) Idle() bool {
 }
 
 // acceptFlit performs buffer write (BW) and, for head flits, route
-// computation.
-func (r *Router) acceptFlit(p Port, iu *inputUnit, f *Flit) {
+// computation: the link's flit value is copied into an arena slot and the
+// slot's handle queued on the addressed input VC.
+func (r *Router) acceptFlit(p Port, f *Flit) {
 	vnet := f.Pkt.VNet
 	if f.Pkt.Broadcast && f.Pkt.Flits != 1 {
 		panic(fmt.Sprintf("noc: router %d received multi-flit broadcast %s; broadcasts must be single-flit", r.id, f.Pkt))
 	}
-	vc := iu.vcs[vnet][f.inVC]
-	if vc.q.Len() >= r.cfg.BufDepthFor(vnet) {
+	fv := r.flatVC(p, vnet, int(f.inVC))
+	if r.qlen[fv] >= r.qcap[fv] {
 		panic(fmt.Sprintf("noc: router %d port %s VC overflow — credit protocol violated", r.id, p))
 	}
-	f.arrival = r.now
-	f.bypassCandidate = r.cfg.Bypass && vc.q.Empty()
-	if f.IsHead() {
-		if f.Pkt.Broadcast {
-			f.outPorts = r.broadcastMask(p)
+	h := r.arena.Alloc()
+	buf := r.arena.At(h)
+	*buf = *f
+	buf.arrival = r.now
+	buf.bypassCandidate = r.cfg.Bypass && r.qlen[fv] == 0
+	if buf.IsHead() {
+		if buf.Pkt.Broadcast {
+			buf.outPorts = r.broadcastMask(p)
 		} else {
-			f.outPorts = portMask(r.routeUnicast(f.Pkt.Dst))
+			buf.outPorts = portMask(r.routeUnicast(buf.Pkt.Dst))
 		}
 	}
-	vc.q.Push(f)
+	r.qPush(fv, h)
 	r.buffered++
 	r.Stats.FlitsAccepted++
 	r.Stats.BufferWrites++
 	if r.tracer != nil {
 		r.tracer.Record(obs.Event{
 			Cycle: r.now, Type: obs.EvBufWrite, Node: int32(r.id),
-			Src: int32(f.Pkt.Src), Pkt: f.Pkt.ID, Arg: uint64(f.Seq),
-			Port: int8(p), VNet: int8(vnet), VC: int16(f.inVC),
+			Src: int32(buf.Pkt.Src), Pkt: buf.Pkt.ID, Arg: uint64(buf.Seq),
+			Port: int8(p), VNet: int8(vnet), VC: buf.inVC,
 		})
 	}
 }
@@ -230,7 +297,7 @@ func (r *Router) routeUnicast(dst int) Port {
 func (r *Router) broadcastMask(arrival Port) uint8 {
 	var mask uint8
 	add := func(p Port) {
-		if r.out[p] != nil {
+		if r.outLink[p] != nil {
 			mask |= portMask(p)
 		}
 	}
@@ -278,7 +345,7 @@ type candidate struct {
 	in     Port
 	vnet   VNet
 	vcIdx  int
-	vc     *vcState
+	fv     int // flat VC index
 	flit   *Flit
 	wants  uint8 // output ports requested (after resource precheck)
 	isRVC  bool
@@ -310,14 +377,18 @@ func (r *Router) allocate() {
 	// several output ports in the same cycle (single-cycle forking).
 	var winners [NumPorts]*candidate
 	for o := Port(0); o < NumPorts; o++ {
-		if r.out[o] == nil {
+		if r.outLink[o] == nil {
 			continue
 		}
 		var best *candidate
 		bestRank := 1 << 30
 		n := int(NumPorts)
 		for k := 0; k < n; k++ {
-			p := Port((r.saPtr[o] + k) % n)
+			pi := r.saPtr[o] + k
+			if pi >= n {
+				pi -= n
+			}
+			p := Port(pi)
 			c := cands[p]
 			if c == nil || c.wants&portMask(o) == 0 {
 				continue
@@ -353,8 +424,8 @@ func (r *Router) allocate() {
 	// Dequeue flits whose pending output set is exhausted, count extra
 	// branches of multicast forks, and demote lookaheads that failed to
 	// claim the switch back to the buffered pipeline (Section 3.2). The
-	// dequeue (which releases the flit into the recycle pool, resetting its
-	// fields) must come after the last read of the flit.
+	// dequeue (which frees the flit's arena slot, zeroing it) must come
+	// after the last read of the flit.
 	for p := Port(0); p < NumPorts; p++ {
 		c := cands[p]
 		if c == nil {
@@ -379,38 +450,39 @@ func (r *Router) allocate() {
 // pickInputWinner performs SA-I for one input port: among VCs whose head flit
 // is eligible and has at least one serviceable output port, pick the highest
 // priority (reserved VC first, then lookaheads, then round-robin buffered).
+// The scan walks the port's contiguous flat-VC range in arrival order.
 func (r *Router) pickInputWinner(p Port) *candidate {
-	iu := r.in[p]
-	if iu == nil {
+	if r.inLink[p] == nil {
 		return nil
 	}
-	total := r.cfg.TotalVCs(GOReq) + r.cfg.TotalVCs(UOResp)
-	split := r.cfg.TotalVCs(GOReq)
+	total := r.vcsPerPort
+	split := r.splitVC
+	base := int(p) * total
 	bestFlat := -1
 	var bestWants uint8
 	bestRank := 1 << 30
+	rvc := r.cfg.ReservedVC(GOReq)
 	for k := 0; k < total; k++ {
-		idx := (r.saiPtr[p] + k) % total
-		v, i := GOReq, idx
-		if idx >= split {
-			v, i = UOResp, idx-split
+		idx := r.saiPtr[p] + k
+		if idx >= total {
+			idx -= total
 		}
-		vc := iu.vcs[v][i]
-		if vc.q.Empty() {
+		fv := base + idx
+		if r.qlen[fv] == 0 {
 			continue
 		}
-		f := vc.q.Front()
+		f := r.arena.At(r.qFront(fv))
 		if !r.eligible(f) {
 			continue
 		}
-		wants := r.serviceablePorts(vc, f)
+		wants := r.serviceablePorts(fv, f)
 		if wants == 0 {
 			r.Stats.AllocStalls++
 			continue
 		}
 		class := 2
 		switch {
-		case v == GOReq && i == r.cfg.ReservedVC(v):
+		case idx < split && idx == rvc:
 			class = 0
 		case f.bypassCandidate:
 			class = 1
@@ -428,14 +500,18 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 	if bestFlat >= split {
 		v, i = UOResp, bestFlat-split
 	}
-	vc := iu.vcs[v][i]
+	fv := base + bestFlat
 	// The winner lives in the router's reusable per-port buffer: the hot
 	// path allocates nothing per cycle.
 	c := &r.candBuf[p]
-	head := vc.q.Front()
-	*c = candidate{in: p, vnet: v, vcIdx: i, vc: vc, flit: head, wants: bestWants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: head.IsHead()}
+	head := r.arena.At(r.qFront(fv))
+	*c = candidate{in: p, vnet: v, vcIdx: i, fv: fv, flit: head, wants: bestWants, isRVC: v == GOReq && i == r.cfg.ReservedVC(v), isHead: head.IsHead()}
 	if c.priorityClass() == 2 {
-		r.saiPtr[p] = (bestFlat + 1) % total
+		next := bestFlat + 1
+		if next >= total {
+			next -= total
+		}
+		r.saiPtr[p] = next
 	}
 	return c
 }
@@ -443,27 +519,26 @@ func (r *Router) pickInputWinner(p Port) *candidate {
 // serviceablePorts filters a flit's pending output ports down to those whose
 // downstream resources (VC, credit, SID-tracker clearance) are available this
 // cycle.
-func (r *Router) serviceablePorts(vc *vcState, f *Flit) uint8 {
+func (r *Router) serviceablePorts(fv int, f *Flit) uint8 {
 	var wants uint8
 	if f.IsHead() {
 		wants = f.outPorts
 	} else {
-		wants = portMask(vc.outPort)
+		wants = portMask(Port(r.vcOutPort[fv]))
 	}
 	var ok uint8
 	for o := Port(0); o < NumPorts; o++ {
 		if wants&portMask(o) == 0 {
 			continue
 		}
-		ou := r.out[o]
-		if ou == nil {
+		if r.outLink[o] == nil {
 			continue
 		}
 		if f.IsHead() {
-			if _, can := ou.tr.AllocHeadVC(f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(ou, f)); can {
+			if _, can := r.trk.allocHeadVC(o, f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(o, f)); can {
 				ok |= portMask(o)
 			}
-		} else if ou.tr.CanSendBody(f.Pkt.VNet, vc.outVC) {
+		} else if r.trk.canSendBody(o, f.Pkt.VNet, int(r.vcOutVC[fv])) {
 			ok |= portMask(o)
 		}
 	}
@@ -475,11 +550,11 @@ func (r *Router) serviceablePorts(vc *vcState, f *Flit) uint8 {
 // some NIC in this branch's remaining delivery subtree is waiting for; any
 // looser rule would let a later same-SID request squat the reserved VC and
 // deadlock the expected one behind it.
-func (r *Router) rvcEligible(ou *outputUnit, f *Flit) bool {
+func (r *Router) rvcEligible(o Port, f *Flit) bool {
 	if f.Pkt.VNet != GOReq || r.esid == nil {
 		return false
 	}
-	for _, node := range ou.coverage {
+	for _, node := range r.coverage[o] {
 		if sid, seq, ok := r.esid(node); ok && sid == f.Pkt.SID && seq == f.Pkt.SrcSeq {
 			return true
 		}
@@ -489,14 +564,13 @@ func (r *Router) rvcEligible(ou *outputUnit, f *Flit) bool {
 
 // claim re-checks and reserves downstream resources for one traversal.
 func (r *Router) claim(c *candidate, o Port) (grant, bool) {
-	ou := r.out[o]
 	f := c.flit
 	if c.isHead {
-		vcIdx, ok := ou.tr.AllocHeadVC(f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(ou, f))
+		vcIdx, ok := r.trk.allocHeadVC(o, f.Pkt.VNet, f.Pkt.SID, r.rvcEligible(o, f))
 		if !ok {
 			return grant{}, false
 		}
-		ou.tr.ClaimHeadVC(f.Pkt.VNet, vcIdx, f.Pkt.SID)
+		r.trk.claimHeadVC(o, f.Pkt.VNet, vcIdx, f.Pkt.SID)
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{
 				Cycle: r.now, Type: obs.EvVCAlloc, Node: int32(r.id),
@@ -504,23 +578,25 @@ func (r *Router) claim(c *candidate, o Port) (grant, bool) {
 				Port: int8(o), VNet: int8(f.Pkt.VNet), VC: int16(vcIdx),
 			})
 		}
-		return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, flit: f, out: o, dstVC: vcIdx, isHead: true}, true
+		return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, fv: c.fv, flit: f, out: o, dstVC: vcIdx, isHead: true}, true
 	}
-	if !ou.tr.CanSendBody(f.Pkt.VNet, c.vc.outVC) {
+	dstVC := int(r.vcOutVC[c.fv])
+	if !r.trk.canSendBody(o, f.Pkt.VNet, dstVC) {
 		return grant{}, false
 	}
-	ou.tr.ChargeBody(f.Pkt.VNet, c.vc.outVC)
-	return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, flit: f, out: o, dstVC: c.vc.outVC, isHead: false}, true
+	r.trk.chargeBody(o, f.Pkt.VNet, dstVC)
+	return grant{in: c.in, vnet: c.vnet, vcIdx: c.vcIdx, fv: c.fv, flit: f, out: o, dstVC: dstVC, isHead: false}, true
 }
 
-// traverse sends one flit copy through the crossbar onto an output link.
+// traverse sends one flit copy through the crossbar onto an output link: a
+// 32-byte value copy into the link mailbox, no allocation.
 func (r *Router) traverse(g grant) {
-	out := r.pool.Clone(g.flit)
-	out.inVC = g.dstVC
+	out := *g.flit
+	out.inVC = int16(g.dstVC)
 	out.outPorts = 0
-	r.out[g.out].link.Send(out, r.now)
-	g.flit.lastPort = g.out
-	g.flit.lastDstVC = g.dstVC
+	r.outLink[g.out].Send(out, r.now)
+	g.flit.lastPort = int8(g.out)
+	g.flit.lastDstVC = int8(g.dstVC)
 	r.Stats.FlitsRouted++
 	r.Stats.BufferReads++
 	if g.flit.bypassCandidate {
@@ -546,57 +622,63 @@ func (r *Router) traverse(g grant) {
 }
 
 // dequeue removes a fully-serviced flit from its input VC, returns a credit
-// upstream, and maintains wormhole state for multi-flit packets.
+// upstream, frees the arena slot, and maintains wormhole state for
+// multi-flit packets.
 func (r *Router) dequeue(c *candidate) {
-	vc := c.vc
-	f := vc.q.PopFront()
+	h := r.qPop(c.fv)
 	r.buffered--
-	iu := r.in[c.in]
+	f := r.arena.At(h)
 	tail := f.IsTail()
 	if f.IsHead() && !tail {
 		// Record the wormhole route for the packet's body flits. Multi-flit
 		// packets are unicast, so there is exactly one granted port: the one
 		// the head just traversed.
-		vc.active = true
-		vc.outPort = f.lastPort
-		vc.outVC = f.lastDstVC
+		r.vcOutPort[c.fv] = f.lastPort
+		r.vcOutVC[c.fv] = f.lastDstVC
 	}
-	if tail {
-		vc.active = false
-	}
+	r.inLink[c.in].SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: tail}, r.now)
 	// The buffered flit is fully serviced (every output branch traversed a
-	// pool-drawn clone); ride it upstream on the credit so the sender's pool
-	// gets its object back (see Credit.Carcass). Sent last: the carcass
-	// belongs to the upstream component once attached.
-	iu.link.SendCredit(Credit{VNet: c.vnet, VC: c.vcIdx, FreeVC: tail, Carcass: f}, r.now)
+	// value copy); its slab slot is zeroed and recycled for the next
+	// arrival. Freed last: the free must follow the flit's final read.
+	r.arena.Free(h)
 }
 
 // ForEachBufferedFlit calls fn for every flit buffered in the router's input
 // VCs (diagnostics and tests).
 func (r *Router) ForEachBufferedFlit(fn func(p Port, v VNet, vc int, f *Flit)) {
 	for p := Port(0); p < NumPorts; p++ {
-		iu := r.in[p]
-		if iu == nil {
+		if r.inLink[p] == nil {
 			continue
 		}
-		for v := VNet(0); v < NumVNets; v++ {
-			for i, vcs := range iu.vcs[v] {
-				for k := 0; k < vcs.q.Len(); k++ {
-					fn(p, v, i, vcs.q.At(k))
+		base := int(p) * r.vcsPerPort
+		for idx := 0; idx < r.vcsPerPort; idx++ {
+			fv := base + idx
+			v, i := GOReq, idx
+			if idx >= r.splitVC {
+				v, i = UOResp, idx-r.splitVC
+			}
+			for k := int32(0); k < r.qlen[fv]; k++ {
+				pos := r.qhead[fv] + k
+				if pos >= r.qcap[fv] {
+					pos -= r.qcap[fv]
 				}
+				fn(p, v, i, r.arena.At(r.qbuf[r.qoff[fv]+pos]))
 			}
 		}
 	}
 }
 
-// OutputState reports an output port's tracker for diagnostics; ok is false
-// for absent ports.
-func (r *Router) OutputState(p Port) (*OutputTracker, bool) {
-	if r.out[p] == nil {
-		return nil, false
+// OutputState reports an output port's tracker state for diagnostics; ok is
+// false for absent ports.
+func (r *Router) OutputState(p Port) (TrackerView, bool) {
+	if r.outLink[p] == nil {
+		return TrackerView{}, false
 	}
-	return r.out[p].tr, true
+	return TrackerView{r: r, p: p}, true
 }
+
+// Arena exposes the router's flit arena (leak and determinism tests).
+func (r *Router) ArenaState() *Arena { return &r.arena }
 
 // PendingPorts returns a flit's unserved output-port mask (diagnostics).
 func (f *Flit) PendingPorts() uint8 { return f.outPorts }

@@ -141,3 +141,177 @@ func (t *OutputTracker) Busy(v VNet, vc int) bool { return t.vcBusy[v][vc] }
 
 // TrackedSID exposes the SID tracker entry for a GO-REQ VC (for tests).
 func (t *OutputTracker) TrackedSID(vc int) int { return t.sid[vc] }
+
+// trackerTable is the router's structure-of-arrays replacement for five
+// per-port OutputTracker objects: credits, busy flags and SID entries for
+// every (output port, VC) pair live in flat parallel slices indexed by
+//
+//	int(port)*vcsPerPort + flat VC
+//
+// with GO-REQ VCs (including the reserved one) below split and UO-RESP VCs
+// above it — the same flat VC numbering the router's input-side tables use.
+// Semantics are identical to OutputTracker's, per port. Single-port users
+// (the NIC's injection port, baseline endpoints, traffic sinks) keep using
+// OutputTracker; the table only pays off where one component owns several
+// ports.
+type trackerTable struct {
+	vcsPerPort int
+	split      int // GO-REQ VC count (ordinary + reserved)
+	goVCs      int // ordinary GO-REQ VCs (excluding the reserved one)
+	uoVCs      int
+	goDepth    int16
+	uoDepth    int16
+	credits    []int16
+	busy       []bool
+	sid        []int32 // GO-REQ entries only; -1 = none in flight
+}
+
+func newTrackerTable(cfg Config) trackerTable {
+	t := trackerTable{
+		split:   cfg.TotalVCs(GOReq),
+		goVCs:   cfg.GOReqVCs,
+		uoVCs:   cfg.UORespVCs,
+		goDepth: int16(cfg.BufDepthFor(GOReq)),
+		uoDepth: int16(cfg.BufDepthFor(UOResp)),
+	}
+	t.vcsPerPort = t.split + t.uoVCs
+	n := int(NumPorts) * t.vcsPerPort
+	t.credits = make([]int16, n)
+	t.busy = make([]bool, n)
+	t.sid = make([]int32, n)
+	for i := range t.credits {
+		if i%t.vcsPerPort < t.split {
+			t.credits[i] = t.goDepth
+		} else {
+			t.credits[i] = t.uoDepth
+		}
+		t.sid[i] = -1
+	}
+	return t
+}
+
+// flat returns the table index for (port, vnet, vc).
+func (t *trackerTable) flat(p Port, v VNet, vc int) int {
+	i := int(p)*t.vcsPerPort + vc
+	if v == UOResp {
+		i += t.split
+	}
+	return i
+}
+
+// depth returns the downstream buffer depth for a vnet.
+func (t *trackerTable) depth(v VNet) int16 {
+	if v == GOReq {
+		return t.goDepth
+	}
+	return t.uoDepth
+}
+
+// processCredit applies one returned credit for a port.
+func (t *trackerTable) processCredit(p Port, c Credit) {
+	i := t.flat(p, c.VNet, c.VC)
+	t.credits[i]++
+	if t.credits[i] > t.depth(c.VNet) {
+		panic("noc: credit overflow — downstream returned more credits than buffer slots")
+	}
+	if c.FreeVC {
+		t.busy[i] = false
+		if c.VNet == GOReq {
+			t.sid[i] = -1
+		}
+	}
+}
+
+// sidInFlight reports whether any GO-REQ VC of the port currently holds a
+// request with the given SID.
+func (t *trackerTable) sidInFlight(p Port, sid int) bool {
+	base := int(p) * t.vcsPerPort
+	for i := base; i < base+t.split; i++ {
+		if t.sid[i] == int32(sid) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocHeadVC mirrors OutputTracker.AllocHeadVC for one port.
+func (t *trackerTable) allocHeadVC(p Port, v VNet, sid int, rvcEligible bool) (int, bool) {
+	base := int(p) * t.vcsPerPort
+	if v == GOReq {
+		if t.sidInFlight(p, sid) {
+			return 0, false
+		}
+		for vc := 0; vc < t.goVCs; vc++ {
+			if i := base + vc; !t.busy[i] && t.credits[i] > 0 {
+				return vc, true
+			}
+		}
+		if rvcEligible {
+			rvc := t.goVCs // reserved VC is the last GO-REQ index
+			if i := base + rvc; !t.busy[i] && t.credits[i] > 0 {
+				return rvc, true
+			}
+		}
+		return 0, false
+	}
+	for vc := 0; vc < t.uoVCs; vc++ {
+		if i := base + t.split + vc; !t.busy[i] && t.credits[i] > 0 {
+			return vc, true
+		}
+	}
+	return 0, false
+}
+
+// claimHeadVC marks the VC busy, charges one credit and records the SID in
+// the tracker table for GO-REQ.
+func (t *trackerTable) claimHeadVC(p Port, v VNet, vc, sid int) {
+	i := t.flat(p, v, vc)
+	t.busy[i] = true
+	t.credits[i]--
+	if t.credits[i] < 0 {
+		panic("noc: sent flit without credit")
+	}
+	if v == GOReq {
+		t.sid[i] = int32(sid)
+	}
+}
+
+// canSendBody reports whether a body/tail flit may be sent on an already
+// allocated VC.
+func (t *trackerTable) canSendBody(p Port, v VNet, vc int) bool {
+	return t.credits[t.flat(p, v, vc)] > 0
+}
+
+// chargeBody consumes one credit for a body/tail flit.
+func (t *trackerTable) chargeBody(p Port, v VNet, vc int) {
+	i := t.flat(p, v, vc)
+	t.credits[i]--
+	if t.credits[i] < 0 {
+		panic("noc: sent body flit without credit")
+	}
+}
+
+// TrackerView is a read-only window onto one output port's slice of a
+// router's tracker table, with the same accessors OutputTracker exposes so
+// diagnostics (Mesh.Snapshot, watchdog reports) and tests are layout-
+// agnostic.
+type TrackerView struct {
+	r *Router
+	p Port
+}
+
+// Credits exposes the current credit count for the viewed port.
+func (tv TrackerView) Credits(v VNet, vc int) int {
+	return int(tv.r.trk.credits[tv.r.trk.flat(tv.p, v, vc)])
+}
+
+// Busy exposes the VC allocation state for the viewed port.
+func (tv TrackerView) Busy(v VNet, vc int) bool {
+	return tv.r.trk.busy[tv.r.trk.flat(tv.p, v, vc)]
+}
+
+// TrackedSID exposes the SID tracker entry for a GO-REQ VC of the viewed
+// port.
+func (tv TrackerView) TrackedSID(vc int) int {
+	return int(tv.r.trk.sid[tv.r.trk.flat(tv.p, GOReq, vc)])
+}

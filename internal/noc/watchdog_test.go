@@ -42,7 +42,7 @@ func (e *starvedEndpoint) Evaluate(cycle uint64) {
 	} else {
 		e.tr.ChargeBody(p.VNet, e.curVC)
 	}
-	inj.Send(&Flit{Pkt: p, Seq: e.nextSeq, inVC: e.curVC}, cycle)
+	inj.Send(NewFlit(p, e.nextSeq, e.curVC), cycle)
 	e.nextSeq++
 	if e.nextSeq == p.Flits {
 		e.inFlight = nil

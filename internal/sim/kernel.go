@@ -86,35 +86,45 @@ const (
 
 // unit is one scheduling unit: components that must execute on the same
 // worker, in order, plus the activity engine's and the sharder's bookkeeping.
+// Fields are ordered wide-to-narrow (slices/words, then int32s, then bools)
+// so the compiler inserts no alignment holes; cmd/layoutcheck polices the
+// same rule for exported structs, and TestUnitPacksTight pins this one.
 type unit struct {
 	comps []Component
 	// act is the unit's wake mailbox, stable across unit rebuilds.
 	act *Activity
-	// canIdle marks a unit whose components all implement Idler; only such
-	// units ever park. idlers and nexters are the pre-asserted views used by
-	// the demotion pass.
-	canIdle bool
+	// idlers and nexters are the pre-asserted views used by the demotion
+	// pass; only units whose components all provide them ever park.
 	idlers  []Idler
 	nexters []NextEventer
-	// active mirrors act.state==0 for the driver and, via the pool's epoch
-	// publication, the workers. wheelAt is the cycle of the unit's live
-	// timing-wheel entry (NoEvent = none); wheelNext/wheelPrev link the unit
-	// into its slot's list (-1 = end).
-	active    bool
-	wheelAt   uint64
-	wheelNext int32
-	wheelPrev int32
+	// wheelAt is the cycle of the unit's live timing-wheel entry (NoEvent =
+	// none).
+	wheelAt uint64
 	// cost is the balancing weight: the static seed until the first
 	// profiling cycle, then an EWMA of measured phase nanoseconds.
-	cost   float64
-	seeded bool // cost holds measured time, not the static seed
+	cost float64
 	// sampleNs/sampleCnt accumulate profiling-cycle measurements; written
 	// only by the owning worker mid-cycle (or the driver, for parked units),
 	// folded and zeroed by the driver between cycles (the commit barrier
 	// orders the two).
-	sampleNs  float64
+	sampleNs float64
+	// wheelNext/wheelPrev link the unit into its timing-wheel slot's list
+	// (-1 = end).
+	wheelNext int32
+	wheelPrev int32
 	sampleCnt uint32
 	owner     int32 // current shard, for migration accounting
+	// tile is the unit's topology hint (mesh node ID, -1 = none), copied
+	// from its Activity; the pool's initial packing clusters contiguous
+	// tiles onto the same shard.
+	tile int32
+	// canIdle marks a unit whose components all implement Idler; only such
+	// units ever park.
+	canIdle bool
+	// active mirrors act.state==0 for the driver and, via the pool's epoch
+	// publication, the workers.
+	active bool
+	seeded bool // cost holds measured time, not the static seed
 }
 
 // Kernel drives a set of components with a shared synchronous clock.
@@ -188,6 +198,10 @@ func (k *Kernel) RegisterGroup(key int, c Component) *Activity {
 	a := k.groupActs[key]
 	if a == nil {
 		a = &Activity{sig: &k.wakeSignal, edges: &k.wakeEdges}
+		// Group keys are node IDs at every call site, so they double as the
+		// topology hint for tile-clustered sharding; callers with a different
+		// keying scheme can override via SetTile.
+		a.SetTile(key)
 		k.groupActs[key] = a
 	}
 	k.components = append(k.components, c)
@@ -804,6 +818,7 @@ func (k *Kernel) buildUnits() []unit {
 		u.active = true
 		u.wheelAt = NoEvent
 		u.wheelNext, u.wheelPrev = -1, -1
+		u.tile = int32(u.act.Tile())
 		u.act.state.Store(0)
 	}
 	return units

@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestUnitPacksTight pins the scheduling unit's hole-free field order. The
+// driver walks []unit every cycle, so each alignment hole is multiplied by
+// the unit count; cmd/layoutcheck enforces the same rule for exported
+// structs but cannot reach this unexported one by reflection.
+func TestUnitPacksTight(t *testing.T) {
+	if s := unsafe.Sizeof(unit{}); s != 128 {
+		t.Fatalf("unit is %d bytes, want 128 (two cache lines, no alignment holes)", s)
+	}
+}
+
+// TestActivityIsOneCacheLine pins the wake-mailbox padding: producer shards
+// write one unit's Activity while others read their neighbours'; sharing a
+// line would turn every wake into a false-sharing invalidation.
+func TestActivityIsOneCacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(Activity{}); s != 64 {
+		t.Fatalf("Activity is %d bytes, want exactly one 64-byte cache line", s)
+	}
+}

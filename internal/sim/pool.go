@@ -136,10 +136,10 @@ func newPhasePool(units []unit, nw int, pm *perfmon.Mon, stride uint64) *phasePo
 	if runtime.GOMAXPROCS(0) < 2 {
 		p.inline = true
 		p.inlineAll = make([]Component, 0, ncomps)
-		p.repack()
+		p.seedPack()
 		return p
 	}
-	p.repack()
+	p.seedPack()
 	// A host with spare cores can afford to burn cycles busy-waiting at the
 	// barriers; an oversubscribed one must yield immediately so the sibling
 	// shards actually run.
@@ -511,6 +511,82 @@ func (p *phasePool) maybeRebalance() {
 			ImbalanceAfter:  after / mean,
 		})
 	}
+}
+
+// seedPack builds the initial shard assignment from topology: units are
+// ordered by their tile hint (a mesh node ID; untiled units keep
+// registration order at the end) and the ordered sequence is cut into nw
+// contiguous, cost-balanced segments. Because routers and per-node agent
+// groups register in row-major node order, contiguous tile ranges are
+// spatial row bands of the mesh — each worker owns neighbouring routers, so
+// the links between them stay within one worker's cache instead of
+// ping-ponging between shards every cycle. The EWMA/LPT rebalancer (repack)
+// stays in charge of correcting measured imbalance later; this only replaces
+// the cold-start seed, which LPT would otherwise scatter round-robin across
+// shards with no regard for adjacency.
+func (p *phasePool) seedPack() {
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.Stable(&tileSorter{p: p})
+	total := 0.0
+	for i := range p.units {
+		total += p.units[i].cost
+	}
+	for w := range p.assign {
+		p.assign[w] = p.assign[w][:0]
+		p.load[w] = 0
+	}
+	moved := uint64(0)
+	w := 0
+	remaining := total
+	for k, ui := range p.order {
+		c := p.units[ui].cost
+		if w < p.nw-1 && len(p.assign[w]) > 0 {
+			unitsLeft := len(p.order) - k
+			shardsAfter := p.nw - 1 - w
+			fair := remaining / float64(p.nw-w)
+			// Advance when the current shard has its fair share of the
+			// remaining cost (charging half the next unit keeps the cut at
+			// the nearest boundary), or when the leftover units are only
+			// enough to give each later shard one.
+			if p.load[w]+c/2 > fair || unitsLeft <= shardsAfter {
+				w++
+			}
+		}
+		p.assign[w] = append(p.assign[w], ui)
+		p.load[w] += c
+		remaining -= c
+		if p.units[ui].owner != int32(w) {
+			if p.units[ui].owner >= 0 {
+				moved++
+			}
+			p.units[ui].owner = int32(w)
+		}
+	}
+	p.rebuildActive()
+	p.rebalances.Add(1)
+	p.migrations.Add(moved)
+}
+
+// tileSorter orders pool.order by ascending tile hint; untiled units (-1)
+// sort last and stability keeps registration order within equal keys.
+type tileSorter struct{ p *phasePool }
+
+func (s *tileSorter) Len() int { return len(s.p.order) }
+func (s *tileSorter) Less(i, j int) bool {
+	a := s.p.units[s.p.order[i]].tile
+	b := s.p.units[s.p.order[j]].tile
+	if a < 0 {
+		return false
+	}
+	if b < 0 {
+		return true
+	}
+	return a < b
+}
+func (s *tileSorter) Swap(i, j int) {
+	s.p.order[i], s.p.order[j] = s.p.order[j], s.p.order[i]
 }
 
 // repack reassigns units to shards longest-processing-time-first: units in

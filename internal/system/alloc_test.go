@@ -10,9 +10,10 @@ import (
 // Steady-state allocation bounds, in average heap allocations per kernel
 // step on a warm 6×6 machine under the barnes workload. The network layer
 // (flits, VC rings, credit buffers, NIC staging) is allocation-free —
-// TestMeshSteadyStateAllocs in internal/traffic pins that at exactly zero,
-// and the Credit.Carcass return path keeps every flit pool balanced even
-// under broadcast forking — so what remains is per-coherence-transaction
+// TestMeshSteadyStateAllocs in internal/traffic pins that at exactly zero;
+// flits live in the routers' fixed-capacity arenas and cross links by
+// value, so even broadcast forking allocates nothing — what remains is
+// per-coherence-transaction
 // protocol state that outlives a cycle and is deliberately not pooled:
 // request/response Packets held in MSHRs and send queues, RespInfo payloads,
 // and map entries for newly touched lines. At barnes's issue rate that is a

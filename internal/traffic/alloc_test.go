@@ -59,17 +59,17 @@ func warmMeshSized(t testing.TB, workers, w, h int, rate float64, idleSkip bool)
 	rng := sim.NewRNG(cfg.Seed + 1)
 	nodes := make([]*node, cfg.Net.Nodes())
 	for i := range nodes {
-		// Pools are per node here, unlike traffic.Run's shared lists: node
-		// units shard across workers in the parallel variants, and a pool may
-		// only be touched by its owning unit. Flit inventory self-balances
-		// via the credit carcasses; the packet lists just get a deep prime.
+		// Packet lists are per node here, unlike traffic.Run's shared list:
+		// node units shard across workers in the parallel variants, and a
+		// free list may only be touched by its owning unit. Flits need no
+		// priming at all — they live in the routers' fixed-capacity arenas
+		// and cross links by value.
 		nodes[i] = &node{
 			id: i, cfg: cfg, mesh: mesh,
 			tr:    noc.NewOutputTracker(cfg.Net),
 			rng:   rng.Fork(),
 			lat:   stats.NewHistogram(4, 512),
 			queue: ring.New[*noc.Packet](8),
-			pool:  &noc.FlitPool{},
 			pkts:  &pktPool{},
 		}
 		nodes[i].armNext(0)
@@ -80,13 +80,11 @@ func warmMeshSized(t testing.TB, workers, w, h int, rate float64, idleSkip bool)
 	k.SetWorkers(workers)
 	k.SetIdleSkip(idleSkip)
 
-	// Prime the pools past their steady-state bounds: a pool's deficit is
-	// capped by in-flight inventory, but the first excursion to each new
-	// high-water mark allocates, and those rare record events would otherwise
-	// trickle in forever (~2 per 1000 cycles after warmup).
-	mesh.PrimeFlitPools(16)
+	// Prime the packet lists past their steady-state bounds: a list's
+	// deficit is capped by in-flight inventory, but the first excursion to
+	// each new high-water mark allocates, and those rare record events would
+	// otherwise trickle in forever (~2 per 1000 cycles after warmup).
 	for _, n := range nodes {
-		n.pool.Prime(512)
 		n.pkts.free = make([]*noc.Packet, 0, 1024)
 		for j := 0; j < 512; j++ {
 			n.pkts.put(&noc.Packet{})
@@ -99,12 +97,13 @@ func warmMeshSized(t testing.TB, workers, w, h int, rate float64, idleSkip bool)
 }
 
 // TestMeshSteadyStateAllocs pins the allocation-free hot path: after the
-// free lists and ring buffers warm up, stepping a loaded 6×6 mesh must not
-// touch the heap at all. Flits are recycled by the router/NIC/node pools,
-// unicast packets by the node free lists, VC queues and staging queues are
-// fixed rings, and Link.Commit swaps its credit buffers — so a steady-state
-// cycle has nothing left to allocate. With tracing off (the default), every
-// observability hook reduces to a nil pointer check.
+// packet free lists and ring buffers warm up, stepping a loaded 6×6 mesh
+// must not touch the heap at all. Flits live in the routers' fixed-capacity
+// arenas and cross links by value, unicast packets are recycled by the node
+// free lists, VC queues and staging queues are fixed rings, and Link.Commit
+// swaps its credit buffers — so a steady-state cycle has nothing left to
+// allocate. With tracing off (the default), every observability hook
+// reduces to a nil pointer check.
 func TestMeshSteadyStateAllocs(t *testing.T) {
 	k, _ := warmMesh(t)
 	allocs := testing.AllocsPerRun(3, func() {

@@ -109,8 +109,11 @@ type node struct {
 	lat     *stats.Histogram
 	recv    uint64
 	offered uint64
-	pool    *noc.FlitPool
-	pkts    *pktPool
+	// idDigest folds every delivered packet ID in arrival order (FNV-1a
+	// style): an order-and-identity witness the determinism suite compares
+	// across worker counts and idle-skip modes.
+	idDigest uint64
+	pkts     *pktPool
 }
 
 // pktPool recycles unicast packets (see the sharing note on node).
@@ -185,13 +188,13 @@ func (n *node) Evaluate(cycle uint64) {
 	inj := n.mesh.InjectLink(n.id)
 	for _, c := range inj.Credits(cycle) {
 		n.tr.ProcessCredit(c)
-		n.pool.Put(c.Carcass)
 	}
 	// Sink.
 	ej := n.mesh.EjectLink(n.id)
 	if f := ej.Flit(cycle); f != nil {
-		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail(), Carcass: n.pool.TakeFree()}, cycle)
+		ej.SendCredit(noc.Credit{VNet: f.Pkt.VNet, VC: f.InVC(), FreeVC: f.IsTail()}, cycle)
 		if f.IsTail() {
+			n.idDigest = (n.idDigest ^ f.Pkt.ID) * 1099511628211
 			if cycle >= n.warm {
 				n.recv++
 				n.lat.Observe(cycle - f.Pkt.InjectCycle)
@@ -200,7 +203,6 @@ func (n *node) Evaluate(cycle uint64) {
 				n.pkts.put(f.Pkt)
 			}
 		}
-		n.pool.Put(f)
 	}
 	// Open-loop generation: the per-cycle Bernoulli trials are presampled
 	// into issueAt (see armNext), preserving the RNG stream exactly.
@@ -242,7 +244,7 @@ func (n *node) Evaluate(cycle uint64) {
 			if n.seq > 0 {
 				n.tr.ChargeBody(n.cur.VNet, n.vc)
 			}
-			inj.Send(n.pool.Get(n.cur, n.seq, n.vc), cycle)
+			inj.Send(noc.NewFlit(n.cur, n.seq, n.vc), cycle)
 			n.seq++
 			if n.seq == n.cur.Flits {
 				n.cur = nil
@@ -304,7 +306,6 @@ func Run(cfg Config) (Result, error) {
 	rng := sim.NewRNG(cfg.Seed + 1)
 	warm := cfg.Cycles / 5
 	nodes := make([]*node, cfg.Net.Nodes())
-	flits := &noc.FlitPool{}
 	pkts := &pktPool{}
 	for i := range nodes {
 		nodes[i] = &node{
@@ -314,7 +315,6 @@ func Run(cfg Config) (Result, error) {
 			warm:  warm,
 			lat:   stats.NewHistogram(4, 512),
 			queue: ring.New[*noc.Packet](8),
-			pool:  flits,
 			pkts:  pkts,
 		}
 		nodes[i].armNext(0)
