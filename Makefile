@@ -5,7 +5,7 @@ BENCH_JSON ?= BENCH_5.json
 # The previous baseline, compared against by benchsmoke when both exist.
 BENCH_PREV ?= BENCH_4.json
 
-.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke perfsmoke layoutcheck
+.PHONY: build test vet race check bench benchsmoke tracesmoke auditsmoke perfsmoke telemetrysmoke layoutcheck
 
 # Tier-1: everything must compile and every test must pass.
 build:
@@ -22,10 +22,10 @@ vet:
 # its parallel tests exercise the activity engine's park/wake churn across
 # shards, the path most likely to hide an ordering race.
 race:
-	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc ./internal/traffic
+	$(GO) test -race -short ./internal/sim ./internal/system ./internal/noc ./internal/traffic ./internal/obs/telemetry
 
 # The full local CI gate.
-check: vet layoutcheck test race benchsmoke tracesmoke auditsmoke perfsmoke
+check: vet layoutcheck test race benchsmoke tracesmoke auditsmoke perfsmoke telemetrysmoke
 
 # The struct-layout gate: pinned sizes for the cache-line-conscious hot
 # structs (Flit, Link, Activity) and fieldalignment-style hole detection
@@ -86,6 +86,17 @@ perfsmoke: build
 	$(GO) test -run 'TestPerfReportAccounting$$' -v ./internal/system
 	SCORPIO_PERF_GUARD=1 $(GO) test -run 'TestPerfmonOverheadGuard$$' -v ./internal/system
 	$(GO) test -run 'TestMeshSteadyStateAllocsPerfmon' -v ./internal/traffic
+
+# The live-telemetry smoke: a real scorpiosim run serves telemetry on an
+# ephemeral port; the script curls /healthz and /metrics (OpenMetrics shape),
+# renders one scorpiotop frame over SSE, and proves shutdown released the
+# port. Then the ≤2% no-client overhead guard and the 0-allocs/step pins with
+# the publisher attached (serial and 4 workers) hold the exporter to the
+# hot-path budget.
+telemetrysmoke: build
+	sh scripts/telemetrysmoke.sh
+	SCORPIO_TELEMETRY_GUARD=1 $(GO) test -run 'TestTelemetryOverheadGuard$$' -v ./internal/system
+	$(GO) test -run 'TestMeshSteadyStateAllocsTelemetry' -v ./internal/traffic
 
 # The trace-format smoke: produce a lifecycle trace from a short 36-core run
 # and validate it parses as Chrome trace-event JSON with at least one fully

@@ -12,11 +12,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"scorpio"
+	"scorpio/internal/cli"
 )
 
 func main() {
@@ -33,31 +33,29 @@ func main() {
 		audit      = flag.Bool("audit", false, "attach the online ordering/coherence auditor to every run")
 		perfPath   = flag.String("perf-report", "", "run one instrumented SCORPIO point and write its perf RunReport JSON to this path")
 		pprofPath  = flag.String("pprof", "", "write a CPU profile to this path")
+
+		telemetry    = flag.String("telemetry", "", "run one instrumented SCORPIO point serving live telemetry on this HTTP address (attach scorpiotop or curl /metrics)")
+		telemetryIvl = flag.Uint64("telemetry-interval", 0, "telemetry sample period in cycles (0 = default 1024; requires -telemetry)")
 	)
 	flag.Parse()
 
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["metrics-interval"] && *tracePath == "" && *perfPath == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -metrics-interval only applies to the traced/instrumented point; it needs -trace PATH or -perf-report PATH")
+	instrumented := func() bool { return *tracePath != "" || *perfPath != "" || *telemetry != "" }
+	if err := cli.CheckFlags(flag.CommandLine, []cli.FlagRule{
+		{Flag: "metrics-interval", Requires: instrumented,
+			Msg: "-metrics-interval only applies to the traced/instrumented point; it needs -trace PATH, -perf-report PATH or -telemetry ADDR"},
+		{Flag: "telemetry-interval", Requires: func() bool { return *telemetry != "" },
+			Msg: "-telemetry-interval has no effect without -telemetry ADDR"},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProfile, err := cli.StartCPUProfile("experiments", *pprofPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopProfile()
 
 	scale := scorpio.FullScale
 	if *quick {
@@ -69,7 +67,7 @@ func main() {
 	scale.Audit = *audit
 	scale.DisableIdleSkip = *noSkip
 
-	if *tracePath != "" || *perfPath != "" {
+	if instrumented() {
 		// One dedicated instrumented 36-core SCORPIO run; the sweeps below
 		// stay uninstrumented so tracing/monitoring never perturbs the
 		// figures.
@@ -81,13 +79,20 @@ func main() {
 			MetricsInterval: *metricsIvl,
 			Audit:           *audit,
 			PerfReportPath:  *perfPath,
+
+			TelemetryAddr:     *telemetry,
+			TelemetryInterval: *telemetryIvl,
 		}
 		if *metricsIvl > 0 {
 			base := *tracePath
 			if base == "" {
 				base = *perfPath
 			}
-			cfg.MetricsPath = strings.TrimSuffix(base, ".json") + "-metrics.csv"
+			if base != "" {
+				// Telemetry-only instrumented runs keep the series in memory
+				// (and live on /metrics) instead of inventing a file name.
+				cfg.MetricsPath = strings.TrimSuffix(base, ".json") + "-metrics.csv"
+			}
 		}
 		res, err := scorpio.Run(cfg)
 		if err != nil {

@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"scorpio"
+	"scorpio/internal/cli"
 )
 
 func main() {
@@ -48,36 +48,34 @@ func main() {
 		auditEvery  = flag.Int("audit-every", 0, "auditor stale-sharer sweep period in cycles (0 = default; requires -audit)")
 		perfPath    = flag.String("perf-report", "", "attach the engine perf monitor and write its RunReport JSON to this path (\"-\" prints the table only)")
 		pprofPath   = flag.String("pprof", "", "write a CPU profile to this path")
+
+		telemetry    = flag.String("telemetry", "", "serve live telemetry on this HTTP address for the duration of the run (\":8090\", or \":0\" for an ephemeral port printed to stderr); attach scorpiotop, curl /metrics, or stream /stream")
+		telemetryIvl = flag.Uint64("telemetry-interval", 0, "telemetry sample period in cycles (0 = default 1024; requires -telemetry)")
+		sseQueue     = flag.Int("sse-queue", 0, "per-client SSE event queue depth (0 = default 16; requires -telemetry)")
 	)
 	flag.Parse()
 
 	// Reject observability flag combinations that would silently do nothing.
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["metrics-out"] && *metricsIvl == 0 {
-		fmt.Fprintln(os.Stderr, "scorpiosim: -metrics-out has no effect without -metrics-interval N")
-		os.Exit(2)
-	}
-	if set["audit-every"] && !*audit {
-		fmt.Fprintln(os.Stderr, "scorpiosim: -audit-every has no effect without -audit")
+	if err := cli.CheckFlags(flag.CommandLine, []cli.FlagRule{
+		{Flag: "metrics-out", Requires: func() bool { return *metricsIvl > 0 },
+			Msg: "-metrics-out has no effect without -metrics-interval N"},
+		{Flag: "audit-every", Requires: func() bool { return *audit },
+			Msg: "-audit-every has no effect without -audit"},
+		{Flag: "telemetry-interval", Requires: func() bool { return *telemetry != "" },
+			Msg: "-telemetry-interval has no effect without -telemetry ADDR"},
+		{Flag: "sse-queue", Requires: func() bool { return *telemetry != "" },
+			Msg: "-sse-queue has no effect without -telemetry ADDR"},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "scorpiosim:", err)
 		os.Exit(2)
 	}
 
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "scorpiosim:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "scorpiosim:", err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProfile, err := cli.StartCPUProfile("scorpiosim", *pprofPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopProfile()
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -111,6 +109,10 @@ func main() {
 		Audit:           *audit,
 		AuditEvery:      *auditEvery,
 		PerfReportPath:  *perfPath,
+
+		TelemetryAddr:     *telemetry,
+		TelemetryInterval: *telemetryIvl,
+		TelemetrySSEQueue: *sseQueue,
 	}
 	if *metricsIvl > 0 {
 		cfg.MetricsPath = *metricsPath

@@ -45,11 +45,24 @@ type Options struct {
 	// stamped into the RunReport so benchdiff never silently compares
 	// different workloads.
 	ConfigDigest string
+	// TelemetryAddr, when non-empty, starts the embeddable live HTTP exporter
+	// (internal/obs/telemetry) on this listen address (":0" picks an
+	// ephemeral port, printed to stderr): /metrics OpenMetrics exposition,
+	// /stream SSE ticks, /snapshot deep state, /healthz, and the pprof mux.
+	TelemetryAddr string
+	// TelemetryInterval is the exporter's sample period in cycles
+	// (telemetry.DefaultInterval when zero).
+	TelemetryInterval uint64
+	// TelemetrySSEQueue bounds each /stream client's event queue
+	// (telemetry.DefaultQueue when zero); slow clients drop ticks and are
+	// eventually disconnected rather than ever stalling the kernel.
+	TelemetrySSEQueue int
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
-	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0 || o.Audit || o.Perf
+	return o.Trace || o.MetricsInterval > 0 || o.Watchdog > 0 || o.Audit || o.Perf ||
+		o.TelemetryAddr != ""
 }
 
 // DefaultTraceCapacity is the event ring size when Options.TraceCapacity is

@@ -1,0 +1,148 @@
+package telemetry
+
+import "sync/atomic"
+
+// Event is one sample tick as it crosses the hub: a fixed-size value so the
+// driver's channel send never allocates. Serialization to SSE JSON happens on
+// the receiving client's goroutine.
+type Event struct {
+	Cycle  uint64
+	WallNs int64
+	Tick   uint64
+	NVals  int
+	Vals   [MaxSeries]float64
+}
+
+// DefaultQueue is the per-client event buffer when the attach options leave
+// it zero: deep enough to ride out a TCP stall of a few ticks, shallow
+// enough that a dead consumer is detected quickly.
+const DefaultQueue = 16
+
+// kickAfter is the number of *consecutive* dropped events after which a
+// client is declared dead and disconnected. Combined with the queue depth it
+// bounds how long a stalled consumer can linger: the kernel itself never
+// waits either way — sends are non-blocking — this only reclaims the
+// goroutine and connection.
+const kickAfter = 64
+
+// Client is one subscribed SSE consumer. The hub owns the lifecycle: Events
+// is closed when the client is kicked for falling behind.
+type Client struct {
+	// Events delivers sample ticks; closed by the hub when the client is
+	// kicked.
+	Events chan Event
+	// dropped counts events discarded because the queue was full; consecDrop
+	// tracks the current run of consecutive drops (reset by any successful
+	// delivery). Both are written by the driver, read by anyone.
+	dropped    atomic.Uint64
+	consecDrop uint64
+	kicked     bool
+}
+
+// Dropped reports how many events were discarded for this client.
+func (c *Client) Dropped() uint64 { return c.dropped.Load() }
+
+// Hub fans sample ticks out to SSE clients without ever blocking the
+// publisher. The client list is an immutable slice behind an atomic pointer:
+// subscribing and unsubscribing copy-on-write from HTTP goroutines (guarded
+// by mu against each other), while the driver's Broadcast takes no lock at
+// all — one pointer load, then a non-blocking send per client.
+type Hub struct {
+	clients atomic.Pointer[[]*Client]
+	mu      chMutex
+	queue   int
+
+	// totalDropped and kicks aggregate across all clients (for /metrics).
+	totalDropped atomic.Uint64
+	kicks        atomic.Uint64
+}
+
+// chMutex is a minimal mutex (a 1-buffered channel) so this file stays
+// dependency-light; contention is between rare subscribe/unsubscribe calls
+// only, never the driver.
+type chMutex chan struct{}
+
+func (m *chMutex) lock() {
+	if *m == nil {
+		panic("telemetry: hub not built with NewHub")
+	}
+	*m <- struct{}{}
+}
+func (m *chMutex) unlock() { <-*m }
+
+// NewHub returns a hub with the given per-client queue depth (DefaultQueue
+// when <= 0).
+func NewHub(queue int) *Hub {
+	if queue <= 0 {
+		queue = DefaultQueue
+	}
+	h := &Hub{queue: queue, mu: make(chMutex, 1)}
+	empty := []*Client{}
+	h.clients.Store(&empty)
+	return h
+}
+
+// Clients reports the current subscriber count.
+func (h *Hub) Clients() int { return len(*h.clients.Load()) }
+
+// TotalDropped reports events discarded across all clients so far.
+func (h *Hub) TotalDropped() uint64 { return h.totalDropped.Load() }
+
+// Kicks reports clients disconnected for falling behind.
+func (h *Hub) Kicks() uint64 { return h.kicks.Load() }
+
+// Subscribe registers a new client. HTTP-goroutine side.
+func (h *Hub) Subscribe() *Client {
+	c := &Client{Events: make(chan Event, h.queue)}
+	h.mu.lock()
+	defer h.mu.unlock()
+	old := *h.clients.Load()
+	next := make([]*Client, len(old)+1)
+	copy(next, old)
+	next[len(old)] = c
+	h.clients.Store(&next)
+	return c
+}
+
+// Unsubscribe removes a client (idempotent; kicked clients were already
+// removed by the driver's list swap... no — removal always happens here, the
+// driver only marks and closes). HTTP-goroutine side.
+func (h *Hub) Unsubscribe(c *Client) {
+	h.mu.lock()
+	defer h.mu.unlock()
+	old := *h.clients.Load()
+	next := make([]*Client, 0, len(old))
+	for _, x := range old {
+		if x != c {
+			next = append(next, x)
+		}
+	}
+	h.clients.Store(&next)
+}
+
+// Broadcast delivers ev to every subscriber with a non-blocking send.
+// Driver-side: it never blocks and never allocates. A client whose queue is
+// full loses this event; kickAfter consecutive losses close its channel (the
+// client goroutine sees the close and terminates the stream). The driver
+// never sends on a closed channel because it is the only closer and it marks
+// the client kicked first.
+func (h *Hub) Broadcast(ev Event) {
+	for _, c := range *h.clients.Load() {
+		if c.kicked {
+			continue
+		}
+		select {
+		case c.Events <- ev:
+			c.consecDrop = 0
+		default:
+			c.dropped.Add(1)
+			h.totalDropped.Add(1)
+			c.consecDrop++
+			if c.consecDrop >= kickAfter {
+				c.kicked = true
+				h.kicks.Add(1)
+				close(c.Events)
+			}
+		}
+	}
+}

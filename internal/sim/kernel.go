@@ -651,6 +651,17 @@ func (k *Kernel) ActivityCounters() perfmon.ActivityCounters {
 	return a
 }
 
+// WakeEdges reads the per-edge wake census alone. Unlike ActivityCounters
+// (whose plain fields are driver-only), the edge counters are atomics written
+// by producers on any worker, so this accessor is safe from any goroutine —
+// the telemetry exporter's /metrics handler reads it mid-run.
+func (k *Kernel) WakeEdges() (w [perfmon.NumWakeEdges]uint64) {
+	for e := range w {
+		w[e] = k.wakeEdges[e].Load()
+	}
+	return w
+}
+
 // ExecMode reports how the kernel actually executes cycles: "serial" (no
 // pool — everything on the driving goroutine), "inline" (pool built but
 // GOMAXPROCS<2 folds every shard onto the driver) or "parallel" (true
@@ -676,10 +687,10 @@ func (k *Kernel) PerfReport(label, configDigest string, wallNs int64) *perfmon.R
 	}
 	reb, mig := k.BalanceStats()
 	return k.pm.Report(perfmon.RunInfo{
-		Label:        label,
-		ConfigDigest: configDigest,
-		Workers:      k.Workers(),
-		Mode:         k.ExecMode(),
+		Label:          label,
+		ConfigDigest:   configDigest,
+		Workers:        k.Workers(),
+		Mode:           k.ExecMode(),
 		Cycles:         k.cycle,
 		WallNs:         wallNs,
 		Activity:       k.ActivityCounters(),

@@ -133,6 +133,16 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return edge + uint64(frac*float64(h.max-edge)+0.5)
 }
 
+// Reset zeroes the histogram in place, keeping the bucket geometry. The
+// telemetry sampler reuses one scratch histogram across per-core merges so
+// live percentile reads stay allocation-free.
+func (h *Histogram) Reset() {
+	for i := range h.Buckets {
+		h.Buckets[i] = 0
+	}
+	h.Overflow, h.sum, h.count, h.max = 0, 0, 0, 0
+}
+
 // Merge folds other into h. Both histograms must share the same bucket
 // geometry; Merge panics otherwise, since silently mixing widths would
 // corrupt every percentile.

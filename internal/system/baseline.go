@@ -163,7 +163,13 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 	}
 	mesh.Register(k)
 	k.SetIdleSkip(!opt.DisableIdleSkip)
-	b.Obs = buildObs(opt.Obs, k, opt.Net.Nodes(),
+	var obsErr error
+	b.Obs, obsErr = buildObs(opt.Obs, k, opt.Net.Nodes(),
+		machineInfo{
+			label:   opt.Scheme.String() + "/" + opt.Profile.Name,
+			mesh:    mesh,
+			latency: latencyFromInjectors(func() []*trace.Injector { return b.Injectors }),
+		},
 		func(c *counters) {
 			for _, ep := range b.Endpoints {
 				c.injected += ep.Injected
@@ -200,6 +206,9 @@ func NewBaseline(opt BaselineOptions) (*Baseline, error) {
 			return s
 		},
 	)
+	if obsErr != nil {
+		return nil, obsErr
+	}
 	if b.Obs != nil && b.Obs.Tracer != nil {
 		mesh.SetTracer(b.Obs.Tracer)
 		for _, ep := range b.Endpoints {

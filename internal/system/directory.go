@@ -170,7 +170,13 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 	mesh.Register(k)
 	k.SetWorkers(opt.Workers)
 	k.SetIdleSkip(!opt.DisableIdleSkip)
-	d.Obs = buildObs(opt.Obs, k, nodes,
+	var obsErr error
+	d.Obs, obsErr = buildObs(opt.Obs, k, nodes,
+		machineInfo{
+			label:   opt.Variant.String() + "/" + opt.Profile.Name,
+			mesh:    mesh,
+			latency: latencyFromInjectors(func() []*trace.Injector { return d.Injectors }),
+		},
 		func(c *counters) {
 			for _, n := range d.NICs {
 				c.injected += n.Stats.InjectedRequests + n.Stats.InjectedResponses
@@ -207,6 +213,9 @@ func NewDirectory(opt DirectoryOptions) (*Directory, error) {
 			return s
 		},
 	)
+	if obsErr != nil {
+		return nil, obsErr
+	}
 	if d.Obs != nil && d.Obs.Tracer != nil {
 		mesh.SetTracer(d.Obs.Tracer)
 		for _, n := range d.NICs {

@@ -1,11 +1,16 @@
 package system
 
 import (
+	"time"
+
 	"scorpio/internal/noc"
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
 	"scorpio/internal/obs/perfmon"
+	"scorpio/internal/obs/telemetry"
 	"scorpio/internal/sim"
+	"scorpio/internal/stats"
+	"scorpio/internal/trace"
 )
 
 // metricsColumns is the live time-series schema shared by every machine.
@@ -31,6 +36,89 @@ type counters struct {
 	notifWindows          uint64
 }
 
+// Telemetry series indices. Unlike metricsColumns (whose counter columns
+// report per-sample deltas), every counter series publishes its *cumulative*
+// value — OpenMetrics counters must be monotonic, and rates fall out of
+// consecutive SSE ticks on the client side.
+const (
+	tsInjected = iota
+	tsEjected
+	tsFlitsRouted
+	tsBypasses
+	tsAllocStalls
+	tsNotifWindows
+	tsParks
+	tsWakes
+	tsActivations
+	tsStepsExecuted
+	tsFastForwardCycles
+	tsBufferedFlits
+	tsOutstanding
+	tsActiveUnits
+	tsWheelPending
+	tsLatP50
+	tsLatP99
+	numTelemetrySeries
+)
+
+// telemetrySeries is the live-export schema shared by every machine; index
+// i describes row[i] as filled by the observer's telemetry tick.
+var telemetrySeries = []telemetry.Series{
+	tsInjected:          {Name: "injected", Kind: telemetry.Counter, Help: "Packets injected into the network (requests + responses)."},
+	tsEjected:           {Name: "ejected", Kind: telemetry.Counter, Help: "Packets delivered to their destination agents."},
+	tsFlitsRouted:       {Name: "flits_routed", Kind: telemetry.Counter, Help: "Flits traversing router crossbars."},
+	tsBypasses:          {Name: "bypasses", Kind: telemetry.Counter, Help: "Single-cycle router bypasses taken."},
+	tsAllocStalls:       {Name: "alloc_stalls", Kind: telemetry.Counter, Help: "Switch-allocation stalls (flit lost arbitration or lacked credits)."},
+	tsNotifWindows:      {Name: "notif_windows", Kind: telemetry.Counter, Help: "Notification-network windows delivered (SCORPIO only)."},
+	tsParks:             {Name: "parks", Kind: telemetry.Counter, Help: "Scheduling units demoted off the every-cycle schedule."},
+	tsWakes:             {Name: "wakes", Kind: telemetry.Counter, Help: "Successful parked-unit wake requests (all edges)."},
+	tsActivations:       {Name: "activations", Kind: telemetry.Counter, Help: "Parked units returned to the schedule."},
+	tsStepsExecuted:     {Name: "steps_executed", Kind: telemetry.Counter, Help: "Kernel cycles actually stepped (fast-forwarded cycles are skipped)."},
+	tsFastForwardCycles: {Name: "fast_forward_cycles", Kind: telemetry.Counter, Help: "Cycles skipped over fully-quiescent spans (0 while an observer is attached)."},
+	tsBufferedFlits:     {Name: "buffered_flits", Kind: telemetry.Gauge, Help: "Flits currently buffered in router VCs."},
+	tsOutstanding:       {Name: "outstanding", Kind: telemetry.Gauge, Help: "Outstanding L2 misses across all cores."},
+	tsActiveUnits:       {Name: "active_units", Kind: telemetry.Gauge, Help: "Scheduling units on the every-cycle schedule."},
+	tsWheelPending:      {Name: "wheel_pending", Kind: telemetry.Gauge, Help: "Filed timing-wheel wake entries."},
+	tsLatP50:            {Name: "lat_p50", Kind: telemetry.Gauge, Help: "p50 L2 service latency in cycles over the run so far."},
+	tsLatP99:            {Name: "lat_p99", Kind: telemetry.Gauge, Help: "p99 L2 service latency in cycles over the run so far."},
+}
+
+// machineInfo carries the per-machine identity and read hooks the telemetry
+// exporter needs beyond the shared counter closures.
+type machineInfo struct {
+	// label names the run ("SCORPIO/fft", "LPD-D/lu", "INSO/barnes").
+	label string
+	// mesh is the machine's main network (heatmap dimensions and per-router
+	// utilization); nil disables the heat grid.
+	mesh *noc.Mesh
+	// latency reports the current p50/p99 service latency in cycles.
+	// Driver-side only (called from the kernel observer between cycles).
+	latency func() (p50, p99 float64)
+}
+
+// latencyFromInjectors builds a driver-side live-percentile reader over a
+// machine's trace injectors. get is evaluated lazily on every call because
+// injectors attach after the observability bundle is built; the scratch
+// histogram is reused so sampling stays allocation-free after the first tick.
+func latencyFromInjectors(get func() []*trace.Injector) func() (p50, p99 float64) {
+	var scratch *stats.Histogram
+	return func() (float64, float64) {
+		injs := get()
+		if len(injs) == 0 || injs[0].ServiceHist == nil {
+			return 0, 0
+		}
+		if scratch == nil {
+			h := injs[0].ServiceHist
+			scratch = stats.NewHistogram(h.BucketWidth, len(h.Buckets))
+		}
+		scratch.Reset()
+		for _, in := range injs {
+			scratch.Merge(in.ServiceHist)
+		}
+		return float64(scratch.Percentile(50)), float64(scratch.Percentile(99))
+	}
+}
+
 // Observability bundles one run's enabled observability features: the
 // lifecycle tracer (threaded through routers, NICs, notification network and
 // coherence controllers), the periodic metrics sampler, the forward-progress
@@ -46,8 +134,15 @@ type Observability struct {
 	// PerfReport is its drained RunReport, filled in when the run finishes.
 	Perf       *perfmon.Mon
 	PerfReport *perfmon.Report
+	// Telemetry is the live HTTP exporter, already listening; the facade
+	// closes it when the run's results have been collected.
+	Telemetry *telemetry.Server
 
 	configDigest string
+	// perfWanted records whether the caller asked for a RunReport. Telemetry
+	// attaches a perf monitor on its own (for /metrics worker counters), but
+	// only an explicit Perf option should make Result.Obs.PerfReport non-nil.
+	perfWanted bool
 }
 
 // Stalled reports whether the watchdog detected a stall. Safe on nil.
@@ -72,28 +167,45 @@ func (o *Observability) AuditReport() string {
 	return o.Auditor.Report()
 }
 
+// CloseTelemetry shuts down the telemetry HTTP server (disconnecting any
+// /stream clients) and releases its port. Safe on nil and when telemetry was
+// never enabled; safe to call more than once.
+func (o *Observability) CloseTelemetry() {
+	if o != nil {
+		_ = o.Telemetry.Close()
+	}
+}
+
 // buildObs assembles the bundle for one machine and installs it as the
 // kernel's post-commit observer. Returns nil (and installs nothing) when
 // opt enables no feature, keeping the disabled per-step cost at the
 // kernel's single observer nil-check.
 //
 //   - nodes is the machine's node count (auditor shadow-state sizing).
+//   - info names the run and exposes the mesh and live-latency hooks the
+//     telemetry exporter publishes.
 //   - read fills one counters reading from the machine's cumulative stats.
 //   - occupancy returns (buffered flits in routers, outstanding misses).
 //   - inflight reports whether undelivered packets exist anywhere (router
 //     buffers or NIC/endpoint queues).
 //   - snapshot renders the full network state at a cycle.
+//
+// The only error source is the telemetry exporter failing to bind its listen
+// address.
 func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
+	info machineInfo,
 	read func(*counters),
 	occupancy func() (buffered, outstanding int),
 	inflight func() bool,
-	snapshot func(now uint64) string) *Observability {
+	snapshot func(now uint64) string) (*Observability, error) {
 
 	if opt == nil || !opt.Enabled() {
-		return nil
+		return nil, nil
 	}
-	o := &Observability{configDigest: opt.ConfigDigest}
-	if opt.Perf {
+	o := &Observability{configDigest: opt.ConfigDigest, perfWanted: opt.Perf}
+	if opt.Perf || opt.TelemetryAddr != "" {
+		// Telemetry wants the per-worker counters on /metrics even when no
+		// RunReport was asked for; perfWanted keeps the report gated.
 		o.Perf = perfmon.New()
 		k.SetPerfMon(o.Perf)
 	}
@@ -124,18 +236,106 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 			return snap(k.Cycle())
 		})
 	}
-	if o.Metrics == nil && o.Watchdog == nil && o.Auditor == nil {
+	// The telemetry exporter: a lock-free published page the observer fills
+	// at its own interval, plus the HTTP server reading it. Built before the
+	// observer closure so the closure can capture the publisher.
+	var pub *telemetry.Publisher
+	var fillTel func(cycle uint64, row []float64)
+	if opt.TelemetryAddr != "" {
+		heatW, heatH := 0, 0
+		if info.mesh != nil {
+			cfg := info.mesh.Config()
+			heatW, heatH = cfg.Width, cfg.Height
+		}
+		pub = telemetry.NewPublisher(telemetrySeries, opt.TelemetryInterval,
+			heatW, heatH, opt.TelemetrySSEQueue)
+		fillTel = func(cycle uint64, row []float64) {
+			var c counters
+			read(&c)
+			buffered, outstanding := occupancy()
+			act := k.ActivityCounters()
+			activeUnits, _ := k.ActiveUnits()
+			row[tsInjected] = float64(c.injected)
+			row[tsEjected] = float64(c.ejected)
+			row[tsFlitsRouted] = float64(c.flitsRouted)
+			row[tsBypasses] = float64(c.bypasses)
+			row[tsAllocStalls] = float64(c.allocStalls)
+			row[tsNotifWindows] = float64(c.notifWindows)
+			row[tsParks] = float64(act.Parks)
+			row[tsWakes] = float64(act.TotalWakes())
+			row[tsActivations] = float64(act.Activations)
+			row[tsStepsExecuted] = float64(act.StepsExecuted)
+			row[tsFastForwardCycles] = float64(act.FastForwardCycles)
+			row[tsBufferedFlits] = float64(buffered)
+			row[tsOutstanding] = float64(outstanding)
+			row[tsActiveUnits] = float64(activeUnits)
+			row[tsWheelPending] = float64(act.WheelPending)
+			if info.latency != nil {
+				row[tsLatP50], row[tsLatP99] = info.latency()
+			}
+		}
+		pub.SetDeep(func(cycle uint64) *telemetry.DeepSnapshot {
+			row := make([]float64, numTelemetrySeries)
+			fillTel(cycle, row)
+			d := &telemetry.DeepSnapshot{
+				Cycle:    cycle,
+				WallNs:   time.Now().UnixNano(),
+				Label:    info.label,
+				Vals:     make(map[string]float64, numTelemetrySeries),
+				Network:  snapshot(cycle),
+				Activity: k.ActivityReport(),
+			}
+			for i, s := range telemetrySeries {
+				d.Vals[s.Name] = row[i]
+			}
+			if info.mesh != nil && cycle > 0 {
+				cfg := info.mesh.Config()
+				util := make([]float64, cfg.Nodes())
+				for node := range util {
+					util[node] = float64(info.mesh.Router(node).Stats.FlitsRouted) / float64(cycle)
+				}
+				d.Heat = &telemetry.HeatGrid{Width: cfg.Width, Height: cfg.Height, Util: util}
+			}
+			if o.Perf != nil {
+				d.Perf = k.PerfReport(info.label, o.configDigest, 0)
+			}
+			return d
+		})
+		srv := telemetry.NewServer(pub, telemetry.Options{
+			Label:     info.label,
+			Mon:       o.Perf,
+			WakeEdges: k.WakeEdges,
+			Balance:   k.BalanceStats,
+			Workers:   k.Workers,
+		})
+		if err := srv.Serve(opt.TelemetryAddr); err != nil {
+			return nil, err
+		}
+		o.Telemetry = srv
+	}
+
+	if o.Metrics == nil && o.Watchdog == nil && o.Auditor == nil && pub == nil {
 		// Trace-only and perf-only runs need no per-cycle observer — the
 		// tracer's hooks live in the components and perfmon's in the kernel —
 		// so fast-forward over quiescent spans stays available to them.
-		return o
+		return o, nil
 	}
 	var prev counters
 	var prevAct perfmon.ActivityCounters
 	row := make([]float64, len(metricsColumns))
+	telRow := make([]float64, numTelemetrySeries)
+	var heatBuf []float64
+	var prevFlits []uint64
+	var prevHeatCycle uint64
+	if pub != nil && info.mesh != nil {
+		n := info.mesh.Config().Nodes()
+		heatBuf = make([]float64, n)
+		prevFlits = make([]uint64, n)
+	}
 	k.SetObserver(func(cycle uint64) {
 		o.Watchdog.Observe(cycle)
 		o.Auditor.Observe(cycle)
+		pub.ServeDeep(cycle)
 		if o.Metrics.Due(cycle) {
 			var c counters
 			read(&c)
@@ -158,15 +358,35 @@ func buildObs(opt *obs.Options, k *sim.Kernel, nodes int,
 			prev = c
 			prevAct = act
 		}
+		if pub.Due(cycle) {
+			fillTel(cycle, telRow)
+			heat := heatBuf
+			if heatBuf != nil && cycle > prevHeatCycle {
+				// Per-router utilization over the last sample window, not the
+				// cumulative average — a live dashboard wants to see hotspots
+				// move.
+				span := float64(cycle - prevHeatCycle)
+				for node := range heatBuf {
+					f := info.mesh.Router(node).Stats.FlitsRouted
+					heatBuf[node] = float64(f-prevFlits[node]) / span
+					prevFlits[node] = f
+				}
+				prevHeatCycle = cycle
+			} else {
+				heat = nil // first tick: no window yet
+			}
+			pub.Publish(cycle, telRow, heat)
+		}
 	})
-	return o
+	return o, nil
 }
 
 // finishPerf drains the perf monitor into the run's RunReport. label names
 // the run ("SCORPIO/fft"); wallNs is the caller-measured wall time of the
-// run span the report covers. No-op without a monitor.
+// run span the report covers. No-op without a monitor, and without an
+// explicit Perf request (a telemetry-only monitor stays off the Result).
 func (o *Observability) finishPerf(k *sim.Kernel, label string, wallNs int64) {
-	if o == nil || o.Perf == nil {
+	if o == nil || o.Perf == nil || !o.perfWanted {
 		return
 	}
 	o.PerfReport = k.PerfReport(label, o.configDigest, wallNs)

@@ -247,7 +247,15 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 	}
 	k.SetWorkers(opt.Workers)
 	k.SetIdleSkip(!opt.DisableIdleSkip)
-	s.Obs = buildObs(opt.Obs, k, nodes,
+	var obsErr error
+	s.Obs, obsErr = buildObs(opt.Obs, k, nodes,
+		machineInfo{
+			label: "SCORPIO/" + opt.Profile.Name,
+			mesh:  net.Mesh(),
+			// NewScorpio attaches the injectors after this returns, so the
+			// latency reader resolves them lazily per sample.
+			latency: latencyFromInjectors(func() []*trace.Injector { return s.Injectors }),
+		},
 		func(c *counters) {
 			for node := 0; node < nodes; node++ {
 				st := &net.NIC(node).Stats
@@ -268,6 +276,9 @@ func NewScorpioBare(opt Options) (*Scorpio, error) {
 		func() bool { return net.BufferedFlits() > 0 || net.HasPendingWork() },
 		net.Snapshot,
 	)
+	if obsErr != nil {
+		return nil, obsErr
+	}
 	if s.Obs != nil && s.Obs.Tracer != nil {
 		net.SetTracer(s.Obs.Tracer)
 		for _, l2 := range s.L2s {

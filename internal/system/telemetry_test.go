@@ -1,0 +1,283 @@
+package system
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"scorpio/internal/obs"
+	"scorpio/internal/trace"
+)
+
+// TestTelemetryEndToEnd drives the whole live-export path against a real
+// SCORPIO machine: the exporter binds an ephemeral port at construction, a
+// dashboard-style client attaches to /stream before the run starts, and the
+// run publishes sample ticks the client decodes while /metrics, /snapshot and
+// /healthz answer concurrently. Closing releases the port.
+func TestTelemetryEndToEnd(t *testing.T) {
+	opt := smallOptions(t, "barnes", 16)
+	opt.Obs = &obs.Options{TelemetryAddr: "127.0.0.1:0", TelemetryInterval: 64}
+	s, err := NewScorpio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Obs.CloseTelemetry()
+	if s.Obs == nil || s.Obs.Telemetry == nil {
+		t.Fatal("telemetry options enabled nothing")
+	}
+	addr := s.Obs.Telemetry.Addr()
+	if addr == "" {
+		t.Fatal("exporter not listening after NewScorpio")
+	}
+	base := "http://" + addr
+
+	// The exporter answers before the first cycle: a dashboard can attach
+	// early and wait for the run.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz before run: %s", resp.Status)
+	}
+
+	stream, err := http.Get(base + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	runDone := make(chan error, 1)
+	go func() {
+		res, err := s.Run(3_000_000)
+		if err == nil && res.Completed != 16*(60+120) {
+			t.Errorf("completed %d accesses, want %d", res.Completed, 16*(60+120))
+		}
+		runDone <- err
+	}()
+
+	// One decoded SSE tick proves the observer publishes and the hub
+	// delivers. The scan runs on this goroutine; the sim runs on its own.
+	type frame struct {
+		Cycle  uint64             `json:"cycle"`
+		Tick   uint64             `json:"tick"`
+		Series map[string]float64 `json:"series"`
+	}
+	var got frame
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &got); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		if got.Tick > 0 {
+			break
+		}
+	}
+	if got.Tick == 0 {
+		t.Fatalf("stream delivered no tick before the run finished: %v", sc.Err())
+	}
+	for _, key := range []string{"injected", "active_units", "steps_executed", "lat_p50"} {
+		if _, ok := got.Series[key]; !ok {
+			t.Fatalf("SSE frame lacks series %q (has %v)", key, got.Series)
+		}
+	}
+
+	// /snapshot while the run may still be stepping: either the deep door is
+	// fulfilled by the driver or the handler degrades to the page — both are
+	// valid JSON carrying the published series.
+	resp, err = http.Get(base + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Cycle  uint64             `json:"cycle"`
+		Series map[string]float64 `json:"series"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("bad /snapshot JSON: %v", err)
+	}
+	if len(snap.Series) == 0 {
+		t.Fatal("/snapshot carries no series")
+	}
+
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-run /metrics: the full exposition with final cumulative counters.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var body strings.Builder
+	sc = bufio.NewScanner(resp.Body)
+	var ticks, ejected float64
+	sawHeat := false
+	for sc.Scan() {
+		line := sc.Text()
+		body.WriteString(line)
+		body.WriteByte('\n')
+		if strings.HasPrefix(line, "scorpio_sample_ticks_total ") {
+			ticks = parseValue(t, line)
+		}
+		if strings.HasPrefix(line, "scorpio_ejected_total ") {
+			ejected = parseValue(t, line)
+		}
+		if strings.HasPrefix(line, "scorpio_router_utilization{") {
+			sawHeat = true
+		}
+	}
+	resp.Body.Close()
+	if !strings.HasSuffix(strings.TrimRight(body.String(), "\n"), "# EOF") {
+		t.Fatal("/metrics exposition not terminated by # EOF")
+	}
+	if ticks == 0 {
+		t.Fatal("no sample ticks were published during the run")
+	}
+	if ejected == 0 {
+		t.Fatal("scorpio_ejected_total stayed 0 over a full benchmark run")
+	}
+	if !sawHeat {
+		t.Fatal("no router-utilization samples in /metrics")
+	}
+	if !strings.Contains(body.String(), `scorpio_run{label="SCORPIO/barnes"}`) {
+		t.Fatal("/metrics run label missing or wrong")
+	}
+	if !strings.Contains(body.String(), `scorpio_worker_eval_ns_total{worker="0"}`) {
+		t.Fatal("/metrics lacks the per-worker perf counters")
+	}
+
+	// The telemetry-attached monitor must not leak a PerfReport into the
+	// results: only an explicit Perf request does that.
+	if s.Obs.PerfReport != nil {
+		t.Fatal("telemetry-only run produced a PerfReport")
+	}
+
+	// Close releases the port: connections are refused afterwards.
+	s.Obs.CloseTelemetry()
+	waitRefused(t, base)
+}
+
+func parseValue(t *testing.T, line string) float64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return v
+}
+
+func waitRefused(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return // refused: the port is released
+		}
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("exporter still answering after CloseTelemetry")
+}
+
+// TestTelemetryOverheadGuard holds the no-client exporter to the same ≤2%
+// budget as the perf monitor: with telemetry attached (publisher sampling,
+// deep-snapshot door armed, HTTP server listening) but nobody connected, a
+// warm mesh must step at effectively the bare machine's speed. Wall-clock
+// noise keeps it out of the ordinary suite — it runs from
+// `make telemetrysmoke` (SCORPIO_TELEMETRY_GUARD=1).
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if os.Getenv("SCORPIO_TELEMETRY_GUARD") == "" {
+		t.Skip("overhead guard runs from `make telemetrysmoke` (SCORPIO_TELEMETRY_GUARD=1)")
+	}
+	const rounds, cycles = 12, 2000
+	build := func(attach bool) *Scorpio {
+		prof, err := trace.ByName("fft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions(prof)
+		opt.Core = opt.Core.WithMeshSize(6, 6)
+		opt.WorkPerCore = 1 << 40 // never drains: the machine stays loaded
+		opt.Workers = 1
+		if attach {
+			opt.Obs = &obs.Options{TelemetryAddr: "127.0.0.1:0"} // default interval
+		}
+		s, err := NewScorpio(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Kernel.Run(600) // free lists, VC rings and the phase pool settle
+		return s
+	}
+	bare := build(false)
+	defer bare.Kernel.StopWorkers()
+	withTel := build(true)
+	defer withTel.Kernel.StopWorkers()
+	defer withTel.Obs.CloseTelemetry()
+	// Shared hosts drift by more than the budget over fractions of a second,
+	// so a best-of on each side still compares different noise environments.
+	// Instead measure in back-to-back pairs, alternating which machine goes
+	// first, and take the median of the per-pair deltas: drift hits both
+	// halves of a pair, alternation cancels any second-slot bias, and the
+	// median sheds the outlier pairs a descheduling spike lands in. A whole
+	// attempt can still be poisoned by a sustained load burst, so (like the
+	// accounting test above it in perfsmoke) the guard retries a few times
+	// and passes on the first clean attempt — a real regression fails all of
+	// them.
+	window := func(s *Scorpio) float64 {
+		start := time.Now()
+		s.Kernel.Run(cycles)
+		return float64(time.Since(start).Nanoseconds()) / cycles
+	}
+	deltas := make([]float64, rounds)
+	var base, delta float64
+	for attempt := 1; ; attempt++ {
+		base = math.MaxFloat64
+		for i := range deltas {
+			var b, w float64
+			if i%2 == 0 {
+				b = window(bare)
+				w = window(withTel)
+			} else {
+				w = window(withTel)
+				b = window(bare)
+			}
+			deltas[i] = w - b
+			if b < base {
+				base = b
+			}
+		}
+		sort.Float64s(deltas)
+		delta = (deltas[rounds/2-1] + deltas[rounds/2]) / 2
+		t.Logf("attempt %d per-cycle: %.0fns bare floor, median telemetry delta %+.0fns (%.2f%%)",
+			attempt, base, delta, 100*delta/base)
+		// Same budget shape as the perfmon guard: 2% relative plus a small
+		// absolute allowance for clock granularity on very fast steps.
+		if delta <= base*0.02+200 {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("idle telemetry costs %.0fns/cycle over a %.0fns/cycle baseline (>2%%) across %d attempts; the sampled publish discipline broke", delta, base, attempt)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"scorpio/internal/obs"
 	"scorpio/internal/obs/audit"
 	"scorpio/internal/obs/perfmon"
+	"scorpio/internal/obs/telemetry"
 	"scorpio/internal/ring"
 	"scorpio/internal/sim"
 	"scorpio/internal/stats"
@@ -258,6 +259,83 @@ func TestMeshSteadyStateAllocsPerfmonParallel(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("perfmon-attached parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+}
+
+// attachTelemetry installs a telemetry publisher as the kernel's observer,
+// the way the system layer's buildObs does: a reused row filled from
+// driver-context reads, published into the seqlock page every interval
+// cycles, with the deep-snapshot door served every cycle. No SSE client is
+// connected — AllocsPerRun counts global mallocs, so a consuming goroutine
+// would pollute the measurement; the no-client case is exactly what the
+// 0-allocs pin is about (client rendering happens on HTTP goroutines and is
+// allowed to allocate).
+func attachTelemetry(k *sim.Kernel) *telemetry.Publisher {
+	series := []telemetry.Series{
+		{Name: "steps", Kind: telemetry.Counter, Help: "observer invocations"},
+		{Name: "active_units", Kind: telemetry.Gauge, Help: "unparked scheduling units"},
+		{Name: "wheel_pending", Kind: telemetry.Gauge, Help: "timing-wheel residents"},
+	}
+	pub := telemetry.NewPublisher(series, 64, 0, 0, 0)
+	row := make([]float64, len(series))
+	steps := 0.0
+	k.SetObserver(func(cycle uint64) {
+		pub.ServeDeep(cycle)
+		steps++
+		if pub.Due(cycle) {
+			act := k.ActivityCounters()
+			active, _ := k.ActiveUnits()
+			row[0] = steps
+			row[1] = float64(active)
+			row[2] = float64(act.WheelPending)
+			pub.Publish(cycle, row, nil)
+		}
+	})
+	return pub
+}
+
+// TestMeshSteadyStateAllocsTelemetryAttached pins the live exporter's
+// driver-side cost: with the publisher sampling every 64 cycles and the
+// deep-snapshot door armed, a steady-state step still never touches the heap.
+// Publishing is atomic stores into a preallocated page; broadcasting to zero
+// clients is one atomic pointer load over an empty list.
+func TestMeshSteadyStateAllocsTelemetryAttached(t *testing.T) {
+	k, _ := warmMesh(t)
+	pub := attachTelemetry(k)
+	k.Run(100) // settle the observer-triggered engine rebuild
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-attached warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	var s telemetry.Snapshot
+	if !pub.Read(&s) || s.Tick == 0 {
+		t.Fatal("publisher attached but published nothing")
+	}
+}
+
+// TestMeshSteadyStateAllocsTelemetryParallel extends the pin to the phase
+// pool: the observer runs on the driver between barriered epochs, so the
+// sharded kernel publishes from a quiesced machine with the same zero heap
+// traffic.
+func TestMeshSteadyStateAllocsTelemetryParallel(t *testing.T) {
+	k, _ := warmMeshWorkers(t, 4)
+	pub := attachTelemetry(k)
+	k.Run(100)
+	allocs := testing.AllocsPerRun(3, func() {
+		for i := 0; i < 500; i++ {
+			k.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-attached parallel warm mesh allocated %.1f times per 500 steps, want 0", allocs)
+	}
+	var s telemetry.Snapshot
+	if !pub.Read(&s) || s.Tick == 0 {
+		t.Fatal("publisher attached but published nothing")
 	}
 }
 

@@ -157,6 +157,19 @@ type Config struct {
 	// The report also stays readable in Result.Obs.PerfReport. "-" attaches
 	// the monitor without writing a file.
 	PerfReportPath string
+	// TelemetryAddr starts the live HTTP exporter on this listen address for
+	// the duration of the run (":8090", or ":0" for an ephemeral port printed
+	// to stderr): /metrics OpenMetrics text, /stream SSE sample ticks,
+	// /snapshot deep state, /healthz, /debug/pprof. Attach cmd/scorpiotop to
+	// watch the run live. The server shuts down when the run returns.
+	TelemetryAddr string
+	// TelemetryInterval is the exporter's sample period in cycles (default
+	// 1024). Requires TelemetryAddr.
+	TelemetryInterval uint64
+	// TelemetrySSEQueue bounds each /stream client's event queue (default
+	// 16); a client that falls this far behind drops ticks and is eventually
+	// disconnected — the simulation never waits. Requires TelemetryAddr.
+	TelemetrySSEQueue int
 }
 
 // configDigest fingerprints the simulation-relevant configuration (protocol,
@@ -183,17 +196,20 @@ func (c *Config) configDigest() string {
 // off).
 func (c *Config) obsOptions() *obs.Options {
 	o := obs.Options{
-		Trace:           c.TracePath != "",
-		MetricsInterval: c.MetricsInterval,
-		Watchdog:        c.WatchdogCycles,
-		Audit:           c.Audit,
-		AuditEvery:      c.AuditEvery,
-		Perf:            c.PerfReportPath != "",
+		Trace:             c.TracePath != "",
+		MetricsInterval:   c.MetricsInterval,
+		Watchdog:          c.WatchdogCycles,
+		Audit:             c.Audit,
+		AuditEvery:        c.AuditEvery,
+		Perf:              c.PerfReportPath != "",
+		TelemetryAddr:     c.TelemetryAddr,
+		TelemetryInterval: c.TelemetryInterval,
+		TelemetrySSEQueue: c.TelemetrySSEQueue,
 	}
 	if !o.Enabled() {
 		return nil
 	}
-	if o.Perf {
+	if o.Perf || o.TelemetryAddr != "" {
 		o.ConfigDigest = c.configDigest()
 	}
 	return &o
@@ -314,6 +330,12 @@ func (c *Config) fill() error {
 	if c.MetricsPath != "" && c.MetricsInterval == 0 {
 		return fmt.Errorf("scorpio: Config.MetricsPath requires Config.MetricsInterval > 0")
 	}
+	if c.TelemetryInterval != 0 && c.TelemetryAddr == "" {
+		return fmt.Errorf("scorpio: Config.TelemetryInterval requires Config.TelemetryAddr")
+	}
+	if c.TelemetrySSEQueue != 0 && c.TelemetryAddr == "" {
+		return fmt.Errorf("scorpio: Config.TelemetrySSEQueue requires Config.TelemetryAddr")
+	}
 	return nil
 }
 
@@ -390,6 +412,7 @@ func runScorpio(cfg Config, prof trace.Profile) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer s.Obs.CloseTelemetry()
 	r, err := s.Run(cfg.CycleLimit)
 	if err != nil {
 		return r, err
@@ -426,6 +449,7 @@ func runDirectory(cfg Config, prof trace.Profile, v directory.Variant) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	defer d.Obs.CloseTelemetry()
 	r, err := d.Run(cfg.CycleLimit)
 	if err != nil {
 		return r, err
@@ -452,6 +476,7 @@ func runBaseline(cfg Config, prof trace.Profile, scheme system.OrderingScheme) (
 	if err != nil {
 		return Result{}, err
 	}
+	defer b.Obs.CloseTelemetry()
 	r, err := b.Run(cfg.CycleLimit)
 	if err != nil {
 		return r, err
